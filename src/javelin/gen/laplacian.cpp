@@ -1,0 +1,111 @@
+#include <cmath>
+
+#include "javelin/gen/generators.hpp"
+#include "javelin/sparse/coo.hpp"
+
+namespace javelin::gen {
+
+CsrMatrix laplacian2d(index_t nx, index_t ny, int stencil) {
+  JAVELIN_CHECK(stencil == 5 || stencil == 9, "2-D stencil must be 5 or 9");
+  const index_t n = nx * ny;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(stencil));
+  const auto id = [nx](index_t i, index_t j) { return j * nx + i; };
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t r = id(i, j);
+      double diag = 4.0;
+      const auto add = [&](index_t ii, index_t jj, value_t w) {
+        if (ii < 0 || ii >= nx || jj < 0 || jj >= ny) return;
+        coo.push(r, id(ii, jj), w);
+      };
+      add(i - 1, j, -1.0);
+      add(i + 1, j, -1.0);
+      add(i, j - 1, -1.0);
+      add(i, j + 1, -1.0);
+      if (stencil == 9) {
+        add(i - 1, j - 1, -1.0 / 3.0);
+        add(i + 1, j - 1, -1.0 / 3.0);
+        add(i - 1, j + 1, -1.0 / 3.0);
+        add(i + 1, j + 1, -1.0 / 3.0);
+        diag = 4.0 + 4.0 / 3.0;
+      }
+      coo.push(r, r, diag);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix laplacian3d(index_t nx, index_t ny, index_t nz, int stencil) {
+  JAVELIN_CHECK(stencil == 7 || stencil == 27, "3-D stencil must be 7 or 27");
+  const index_t n = nx * ny * nz;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(stencil));
+  const auto id = [nx, ny](index_t i, index_t j, index_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const index_t r = id(i, j, k);
+        value_t diag = 0;
+        for (index_t dk = -1; dk <= 1; ++dk) {
+          for (index_t dj = -1; dj <= 1; ++dj) {
+            for (index_t di = -1; di <= 1; ++di) {
+              if (di == 0 && dj == 0 && dk == 0) continue;
+              const index_t manhattan =
+                  std::abs(di) + std::abs(dj) + std::abs(dk);
+              if (stencil == 7 && manhattan != 1) continue;
+              const index_t ii = i + di, jj = j + dj, kk = k + dk;
+              if (ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz) {
+                diag += (stencil == 7 || manhattan == 1)
+                            ? 1.0
+                            : 1.0 / static_cast<value_t>(manhattan);
+                continue;
+              }
+              const value_t w = (stencil == 7 || manhattan == 1)
+                                    ? 1.0
+                                    : 1.0 / static_cast<value_t>(manhattan);
+              coo.push(r, id(ii, jj, kk), -w);
+              diag += w;
+            }
+          }
+        }
+        coo.push(r, r, diag + 1e-3);  // slight shift keeps it SPD with Dirichlet-free boundary
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix anisotropic2d(index_t nx, index_t ny, double eps) {
+  const index_t n = nx * ny;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  const auto id = [nx](index_t i, index_t j) { return j * nx + i; };
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t r = id(i, j);
+      value_t diag = 0;
+      const auto add = [&](index_t ii, index_t jj, value_t w) {
+        if (ii < 0 || ii >= nx || jj < 0 || jj >= ny) {
+          diag += w;
+          return;
+        }
+        coo.push(r, id(ii, jj), -w);
+        diag += w;
+      };
+      add(i - 1, j, 1.0);
+      add(i + 1, j, 1.0);
+      add(i, j - 1, static_cast<value_t>(eps));
+      add(i, j + 1, static_cast<value_t>(eps));
+      coo.push(r, r, diag);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+}  // namespace javelin::gen

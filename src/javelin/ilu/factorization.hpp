@@ -1,0 +1,83 @@
+// The complete Javelin factorization object: symbolic pattern, two-stage
+// plan, point-to-point schedules (factorization + forward solve share one;
+// backward solve has its own), and the numeric factor itself. Built once,
+// then reused by thousands of triangular solves (paper §VI: "the incomplete
+// factorization may only be formed once, but stri may be called thousands
+// of times").
+#pragma once
+
+#include <vector>
+
+#include "javelin/ilu/options.hpp"
+#include "javelin/ilu/plan.hpp"
+#include "javelin/ilu/schedule.hpp"
+#include "javelin/ilu/symbolic.hpp"
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin {
+
+/// One tile of the SR lower stage: a contiguous nonzero range of one lower
+/// row falling inside one upper level's column range (tiles never split a
+/// row-level segment, which keeps every update row-owned and race-free).
+struct SrTile {
+  index_t row = 0;      ///< permuted row index (>= n_upper)
+  index_t nz_begin = 0; ///< range inside the factor's nonzero arrays
+  index_t nz_end = 0;
+};
+
+/// Tiles grouped by upper level: tiles for level l are
+/// tiles[tile_ptr[l] .. tile_ptr[l+1]). Tasks within a level are
+/// independent; levels are separated by a taskwait (paper Fig. 6).
+struct SrTiling {
+  std::vector<index_t> tile_ptr;
+  std::vector<SrTile> tiles;
+  /// Levels that actually own tiles (others are skipped at run time).
+  index_t active_levels = 0;
+};
+
+struct Factorization {
+  IluOptions opts;
+  SymbolicStats symbolic;
+  TwoStagePlan plan;
+
+  /// The factor in the plan's permuted ordering: L (unit diag implicit)
+  /// strictly below, U (incl. diagonal) on/above.
+  CsrMatrix lu;
+  std::vector<index_t> diag_pos;
+
+  /// Upper-stage point-to-point schedule (factorization + forward solve).
+  P2PSchedule fwd;
+  /// Backward-solve schedule over all rows.
+  P2PSchedule bwd;
+  /// SR tiling (empty unless plan.method == kSegmentedRows).
+  SrTiling sr;
+  /// Level sets of the corner block (only when opts.parallel_corner).
+  LevelSets corner_levels;
+
+  index_t n() const noexcept { return lu.rows(); }
+};
+
+/// Factor `a` with the full Javelin pipeline (level planning, permutation,
+/// two-stage parallel numeric factorization). `a` is expected to be
+/// preordered already (paper §IV: "we assume that the given matrix is
+/// already ordered"); the plan's internal level permutation is applied on
+/// top and recorded in plan.perm.
+Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts = {});
+
+/// Re-run the numeric phase with new values but the same pattern and plan
+/// (time-stepping use case). `a` must have the pattern of the original
+/// matrix.
+void ilu_refactor(Factorization& f, const CsrMatrix& a);
+
+/// Numeric phase only, on an already-permuted symbolic factor. Exposed for
+/// tests/benches that want to time stages separately.
+void ilu_factor_numeric(Factorization& f);
+
+/// Scatter values of (unpermuted) `a` onto the permuted factor pattern.
+void scatter_values(Factorization& f, const CsrMatrix& a);
+
+/// Build tiles for the SR lower stage from the permuted factor.
+SrTiling build_sr_tiling(const CsrMatrix& lu, const TwoStagePlan& plan,
+                         index_t tile_nnz);
+
+}  // namespace javelin

@@ -1,0 +1,60 @@
+// User-facing options of the Javelin framework (paper §III: fill level k,
+// drop tolerance τ, modified ILU, level pattern choice, lower-stage method
+// and the planner sensitivity knobs of Tables III/IV).
+#pragma once
+
+#include "javelin/graph/levels.hpp"
+#include "javelin/support/types.hpp"
+
+namespace javelin {
+
+/// Which method factors the rows excluded from level scheduling (paper
+/// §III-B). kAuto lets the planner choose from the matrix structure, as the
+/// paper's default does.
+enum class LowerMethod { kNone, kEvenRows, kSegmentedRows, kAuto };
+
+const char* lower_method_name(LowerMethod m);
+
+struct IluOptions {
+  // --- numerical options -----------------------------------------------
+  /// Fill level k of ILU(k). 0 keeps exactly the pattern of A.
+  int fill_level = 0;
+  /// Drop tolerance τ of ILU(k,τ): computed entries with magnitude below
+  /// τ·‖row‖₁/nnz(row) are zeroed (storage retained, value dropped). 0
+  /// disables dropping.
+  double drop_tolerance = 0.0;
+  /// Modified ILU: add discarded fill (and dropped entries) to the diagonal
+  /// so row sums are preserved [MacLachlan et al., paper ref 2].
+  bool modified = false;
+  /// Smallest pivot magnitude accepted; below this the factorization throws
+  /// (Javelin, like most ILUs, does not pivot — paper §III).
+  double pivot_threshold = 1e-14;
+
+  // --- scheduling options ------------------------------------------------
+  /// Pattern driving the level computation. lower(A+Aᵀ) is the default; it
+  /// enables SR and stri tiling (paper §VII: "we by default always recommend
+  /// using the lower(A+Aᵀ) pattern").
+  LevelPattern level_pattern = LevelPattern::kLowerASymmetric;
+  /// Lower-stage method.
+  LowerMethod lower_method = LowerMethod::kAuto;
+  /// A level is "too small" for the upper stage when it has fewer rows than
+  /// this (the sensitivity parameter α of Table III's R-16/24/32 columns).
+  /// <= 0 means "derive from thread count" (2·threads, at least 16).
+  index_t min_level_rows = 0;
+  /// A trailing level is also moved to the lower stage when its mean row
+  /// density exceeds this multiple of the matrix mean ("row density" rule).
+  double density_factor = 8.0;
+  /// Only levels in the trailing fraction of the level order may be moved
+  /// ("relative location" rule; Fig. 3's sandwiched small levels stay).
+  double relative_location = 0.5;
+  /// SR tile size: target nonzeros per tile/task.
+  index_t sr_tile_nnz = 256;
+  /// Factor the lower-stage corner block in parallel (level-scheduled)
+  /// instead of serially. Default off: "for most matrices, serial seems to
+  /// be good enough" (paper §III-B).
+  bool parallel_corner = false;
+  /// Thread count to plan for; <= 0 means use the OpenMP default.
+  int num_threads = 0;
+};
+
+}  // namespace javelin

@@ -1,0 +1,290 @@
+// Two-stage parallel numeric factorization (paper §III).
+//
+// Upper stage: up-looking rows under the point-to-point schedule.
+// Lower stage: Even-Rows (Fig. 8) or Segmented-Rows (Fig. 6) against the
+// finished upper stage, then the shared corner factorization (FACTOR_LU).
+// Every path calls the same row kernel, so all execution modes produce
+// bitwise-identical factors (asserted by the property tests).
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "javelin/ilu/factorization.hpp"
+#include "javelin/ilu/row_kernel.hpp"
+#include "javelin/sparse/ops.hpp"
+#include "javelin/support/parallel.hpp"
+
+namespace javelin {
+
+namespace {
+
+RowKernelParams kernel_params(const IluOptions& o) {
+  return RowKernelParams{o.drop_tolerance, o.modified, o.pivot_threshold};
+}
+
+/// Per-thread workspaces, lazily sized.
+class WorkspacePool {
+ public:
+  WorkspacePool(int threads, index_t n) {
+    ws_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) ws_.push_back(std::make_unique<RowWorkspace>(n));
+  }
+  RowWorkspace& get(int t) { return *ws_[static_cast<std::size_t>(t)]; }
+
+ private:
+  std::vector<std::unique_ptr<RowWorkspace>> ws_;
+};
+
+void throw_pivot(index_t row) {
+  throw Error("zero or near-zero pivot at permuted row " + std::to_string(row) +
+              " (Javelin does not pivot)");
+}
+
+/// Corner factorization (paper: FACTOR_LU): eliminate lower rows against
+/// each other, restricted to corner columns [n_upper, row). Serial by
+/// default; optionally level-scheduled in parallel.
+void factor_corner(Factorization& f, WorkspacePool& pool) {
+  const TwoStagePlan& plan = f.plan;
+  const RowKernelParams params = kernel_params(f.opts);
+  FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
+  if (!f.opts.parallel_corner || plan.num_lower_rows() < 2 * plan.threads ||
+      f.corner_levels.num_levels() == 0) {
+    RowWorkspace& ws = pool.get(0);
+    for (index_t r = plan.n_upper; r < plan.n; ++r) {
+      mark_row(fv, r, ws);
+      eliminate_window(fv, r, plan.n_upper, r, ws, params);
+      if (!finish_row(fv, r, params)) throw_pivot(r);
+    }
+    return;
+  }
+  // Parallel corner: barrier level-sets over the corner pattern. The corner
+  // is small by construction, so a simple level loop suffices here.
+  std::atomic<index_t> bad{kInvalidIndex};
+  const LevelSets& cls = f.corner_levels;
+  for (index_t l = 0; l < cls.num_levels(); ++l) {
+    const auto rows = cls.level_rows(l);
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows.size()); ++i) {
+      const index_t r = plan.n_upper + rows[static_cast<std::size_t>(i)];
+      RowWorkspace& ws = pool.get(thread_id());
+      mark_row(fv, r, ws);
+      eliminate_window(fv, r, plan.n_upper, r, ws, params);
+      if (!finish_row(fv, r, params)) {
+        index_t expect = kInvalidIndex;
+        bad.compare_exchange_strong(expect, r);
+      }
+    }
+    if (bad.load() != kInvalidIndex) throw_pivot(bad.load());
+  }
+}
+
+/// Even-Rows phase one (paper Fig. 8 FACTOR_L): every lower row eliminates
+/// its upper-stage columns; rows are independent because their mutual
+/// coupling lives entirely in the corner.
+void lower_even_rows(Factorization& f, WorkspacePool& pool) {
+  const TwoStagePlan& plan = f.plan;
+  const RowKernelParams params = kernel_params(f.opts);
+  FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
+#pragma omp parallel num_threads(plan.threads)
+  {
+    RowWorkspace& ws = pool.get(thread_id());
+#pragma omp for schedule(dynamic, 1)
+    for (index_t r = plan.n_upper; r < plan.n; ++r) {
+      mark_row(fv, r, ws);
+      eliminate_window(fv, r, 0, plan.n_upper, ws, params);
+    }
+  }
+}
+
+/// Segmented-Rows (paper Fig. 6): per upper level, spawn tile tasks that
+/// divide by the pivot column and apply the U-row updates (DIVIDE_COLUMNS +
+/// UPDATE_BLOCK fused per entry — equivalent because same-level columns are
+/// decoupled under the lower(A+Aᵀ) ordering). taskwait separates levels.
+void lower_segmented_rows(Factorization& f, WorkspacePool& pool) {
+  const TwoStagePlan& plan = f.plan;
+  const RowKernelParams params = kernel_params(f.opts);
+  FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
+  const SrTiling& sr = f.sr;
+#pragma omp parallel num_threads(plan.threads)
+#pragma omp single
+  {
+    for (std::size_t l = 0; l + 1 < sr.tile_ptr.size(); ++l) {
+      const index_t tb = sr.tile_ptr[l];
+      const index_t te = sr.tile_ptr[l + 1];
+      if (tb == te) continue;
+      for (index_t ti = tb; ti < te; ++ti) {
+#pragma omp task firstprivate(ti) shared(sr, fv, pool, params)
+        {
+          const SrTile& tile = sr.tiles[static_cast<std::size_t>(ti)];
+          RowWorkspace& ws = pool.get(thread_id());
+          mark_row(fv, tile.row, ws);
+          eliminate_nz_range(fv, tile.row, tile.nz_begin, tile.nz_end, ws,
+                             params);
+        }
+      }
+#pragma omp taskwait
+    }
+  }
+}
+
+}  // namespace
+
+SrTiling build_sr_tiling(const CsrMatrix& lu, const TwoStagePlan& plan,
+                         index_t tile_nnz) {
+  SrTiling sr;
+  const index_t nlev = plan.num_upper_levels();
+  sr.tile_ptr.assign(static_cast<std::size_t>(nlev) + 1, 0);
+  if (plan.num_lower_rows() == 0 || nlev == 0) return sr;
+
+  // Per lower row, split its upper-column nonzeros at level boundaries.
+  // Levels are contiguous column ranges [ulp[l], ulp[l+1]) after the plan
+  // permutation, so a binary search per boundary suffices.
+  std::vector<std::vector<SrTile>> by_level(static_cast<std::size_t>(nlev));
+  const auto& ulp = plan.upper_level_ptr;
+  for (index_t r = plan.n_upper; r < plan.n; ++r) {
+    auto cols = lu.row_cols(r);
+    const index_t base = lu.row_begin(r);
+    std::size_t k = 0;
+    while (k < cols.size() && cols[k] < plan.n_upper) {
+      // Level of this column.
+      const auto it = std::upper_bound(ulp.begin(), ulp.end(), cols[k]);
+      const index_t lev = static_cast<index_t>(it - ulp.begin()) - 1;
+      const index_t level_end_col = ulp[static_cast<std::size_t>(lev) + 1];
+      std::size_t k2 = k;
+      while (k2 < cols.size() && cols[k2] < level_end_col) ++k2;
+      by_level[static_cast<std::size_t>(lev)].push_back(
+          SrTile{r, base + static_cast<index_t>(k),
+                 base + static_cast<index_t>(k2)});
+      k = k2;
+    }
+  }
+  // Emit tiles level-major. A tile is one row-level segment; a segment never
+  // splits across tiles (updates stay row-owned and race-free), and the
+  // tile_nnz knob only caps how much *work* a single task carries — segments
+  // below it would ideally coalesce across rows, but cross-row coalescing
+  // needs contiguous storage, so we instead rely on OpenMP's task queue to
+  // batch small tasks (matching the overhead profile the paper measured with
+  // VTune in §V).
+  (void)tile_nnz;
+  for (index_t l = 0; l < nlev; ++l) {
+    auto& segs = by_level[static_cast<std::size_t>(l)];
+    for (const SrTile& t : segs) sr.tiles.push_back(t);
+    sr.tile_ptr[static_cast<std::size_t>(l) + 1] =
+        static_cast<index_t>(sr.tiles.size());
+  }
+  for (index_t l = 0; l < nlev; ++l) {
+    if (sr.tile_ptr[static_cast<std::size_t>(l) + 1] >
+        sr.tile_ptr[static_cast<std::size_t>(l)]) {
+      ++sr.active_levels;
+    }
+  }
+  return sr;
+}
+
+void scatter_values(Factorization& f, const CsrMatrix& a) {
+  // Values travel: a (preordered) -> symbolic pattern -> plan permutation.
+  // The factor rows are plan.perm[r] of the symbolic pattern, whose columns
+  // map through the inverse permutation; we reuse the stored column indices
+  // and only refresh values, walking a's rows in permuted order.
+  const index_t n = f.n();
+  const auto& perm = f.plan.perm;
+  const std::vector<index_t> inv = invert_permutation(perm);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t r = 0; r < n; ++r) {
+    const index_t old_r = perm[static_cast<std::size_t>(r)];
+    auto vals = f.lu.row_vals_mut(r);
+    auto cols = f.lu.row_cols(r);
+    // Zero (fill positions) then scatter a's row via the permuted columns.
+    for (auto& v : vals) v = 0;
+    for (index_t k = a.row_begin(old_r); k < a.row_end(old_r); ++k) {
+      const index_t new_c =
+          inv[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])];
+      const auto it = std::lower_bound(cols.begin(), cols.end(), new_c);
+      if (it != cols.end() && *it == new_c) {
+        vals[static_cast<std::size_t>(it - cols.begin())] =
+            a.values()[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+}
+
+void ilu_factor_numeric(Factorization& f) {
+  const TwoStagePlan& plan = f.plan;
+  WorkspacePool pool(plan.threads, f.n());
+  const RowKernelParams params = kernel_params(f.opts);
+  FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
+
+  // Upper stage: point-to-point level-scheduled up-looking rows.
+  std::atomic<index_t> bad{kInvalidIndex};
+  p2p_execute(f.fwd, [&](index_t r, int t) {
+    RowWorkspace& ws = pool.get(t);
+    if (!factor_row(fv, r, ws, params)) {
+      index_t expect = kInvalidIndex;
+      bad.compare_exchange_strong(expect, r);
+    }
+  });
+  if (bad.load() != kInvalidIndex) throw_pivot(bad.load());
+
+  // Lower stage.
+  switch (plan.method) {
+    case LowerMethod::kNone:
+      break;
+    case LowerMethod::kEvenRows:
+      lower_even_rows(f, pool);
+      factor_corner(f, pool);
+      break;
+    case LowerMethod::kSegmentedRows:
+      lower_segmented_rows(f, pool);
+      factor_corner(f, pool);
+      break;
+    case LowerMethod::kAuto:
+      throw Error("plan method must be resolved before the numeric phase");
+  }
+}
+
+Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
+  JAVELIN_CHECK(a.square(), "ILU requires a square matrix");
+  Factorization f;
+  f.opts = opts;
+
+  CsrMatrix s = ilu_symbolic(a, opts.fill_level, &f.symbolic);
+  f.plan = build_two_stage_plan(s, opts);
+  f.lu = permute_symmetric(s, f.plan.perm);
+  f.diag_pos = diagonal_positions(f.lu);
+
+  f.fwd = build_upper_forward_schedule(f.lu, f.plan.upper_level_ptr,
+                                       f.plan.threads);
+  f.bwd = build_backward_schedule(f.lu, f.plan.threads);
+  if (f.plan.method == LowerMethod::kSegmentedRows) {
+    f.sr = build_sr_tiling(f.lu, f.plan, opts.sr_tile_nnz);
+  }
+  if (opts.parallel_corner && f.plan.num_lower_rows() > 0) {
+    // Level sets of the corner block pattern (lower rows, corner columns).
+    const index_t n_lower = f.plan.num_lower_rows();
+    std::vector<index_t> rp(static_cast<std::size_t>(n_lower) + 1, 0);
+    std::vector<index_t> ci;
+    for (index_t i = 0; i < n_lower; ++i) {
+      const index_t r = f.plan.n_upper + i;
+      for (index_t c : f.lu.row_cols(r)) {
+        if (c >= f.plan.n_upper && c <= r) ci.push_back(c - f.plan.n_upper);
+      }
+      rp[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(ci.size());
+    }
+    std::vector<value_t> vv(ci.size(), 1.0);
+    f.corner_levels = compute_level_sets_lower(
+        CsrMatrix(n_lower, n_lower, std::move(rp), std::move(ci), std::move(vv)));
+  }
+
+  ilu_factor_numeric(f);
+  return f;
+}
+
+void ilu_refactor(Factorization& f, const CsrMatrix& a) {
+  JAVELIN_CHECK(a.rows() == f.n() && a.cols() == f.n(),
+                "refactor dimension mismatch");
+  scatter_values(f, a);
+  ilu_factor_numeric(f);
+}
+
+}  // namespace javelin

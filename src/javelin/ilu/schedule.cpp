@@ -1,0 +1,158 @@
+#include "javelin/ilu/schedule.hpp"
+
+#include <algorithm>
+
+#include "javelin/graph/levels.hpp"
+
+namespace javelin {
+
+P2PSchedule build_p2p_schedule(index_t n_total,
+                               std::span<const index_t> level_ptr,
+                               std::span<const index_t> rows_by_level,
+                               const DepsFn& deps, int threads) {
+  P2PSchedule s;
+  s.threads = std::max(1, threads);
+  s.n_total = n_total;
+  s.num_levels = static_cast<index_t>(level_ptr.size()) - 1;
+  s.serial_order.assign(rows_by_level.begin(), rows_by_level.end());
+
+  const index_t n_rows = static_cast<index_t>(rows_by_level.size());
+  const int T = s.threads;
+
+  // Pass 1: assign each level's rows to threads in contiguous slices and
+  // record (owner, position) per row. Position is the 0-based index within
+  // the owner's execution order.
+  std::vector<index_t> owner(static_cast<std::size_t>(n_total), kInvalidIndex);
+  std::vector<index_t> posn(static_cast<std::size_t>(n_total), kInvalidIndex);
+  std::vector<index_t> per_thread_count(static_cast<std::size_t>(T), 0);
+
+  // Count rows per thread first to size the per-thread lists.
+  for (index_t l = 0; l < s.num_levels; ++l) {
+    const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] -
+                        level_ptr[static_cast<std::size_t>(l)];
+    for (int t = 0; t < T; ++t) {
+      per_thread_count[static_cast<std::size_t>(t)] += partition_range(lsz, T, t).size();
+    }
+  }
+  s.thread_ptr.assign(static_cast<std::size_t>(T) + 1, 0);
+  for (int t = 0; t < T; ++t) {
+    s.thread_ptr[static_cast<std::size_t>(t) + 1] =
+        s.thread_ptr[static_cast<std::size_t>(t)] + per_thread_count[static_cast<std::size_t>(t)];
+  }
+  s.rows.assign(static_cast<std::size_t>(n_rows), kInvalidIndex);
+  std::vector<index_t> cursor(s.thread_ptr.begin(), s.thread_ptr.end() - 1);
+  for (index_t l = 0; l < s.num_levels; ++l) {
+    const index_t base = level_ptr[static_cast<std::size_t>(l)];
+    const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] - base;
+    for (int t = 0; t < T; ++t) {
+      const Range rr = partition_range(lsz, T, t);
+      for (index_t i = rr.begin; i < rr.end; ++i) {
+        const index_t row = rows_by_level[static_cast<std::size_t>(base + i)];
+        const index_t p = cursor[static_cast<std::size_t>(t)]++;
+        s.rows[static_cast<std::size_t>(p)] = row;
+        owner[static_cast<std::size_t>(row)] = static_cast<index_t>(t);
+        posn[static_cast<std::size_t>(row)] = p - s.thread_ptr[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+
+  // Pass 2: per consumer thread, walk its rows in execution order keeping
+  // the monotone high-water mark already waited for on every producer; store
+  // only waits that raise it.
+  s.wait_ptr.assign(static_cast<std::size_t>(n_rows) + 1, 0);
+  std::vector<index_t> need(static_cast<std::size_t>(T), 0);       // per-row max need
+  std::vector<std::uint64_t> need_stamp(static_cast<std::size_t>(T), 0);
+  std::uint64_t gen = 0;
+  std::vector<index_t> touched;
+  std::vector<index_t> last_wait(static_cast<std::size_t>(T), 0);
+
+  // First sub-pass counts, second fills; share the logic.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 1) {
+      // prefix-sum wait_ptr and allocate
+      for (std::size_t i = 1; i < s.wait_ptr.size(); ++i) {
+        s.wait_ptr[i] += s.wait_ptr[i - 1];
+      }
+      s.wait_thread.assign(static_cast<std::size_t>(s.wait_ptr.back()), 0);
+      s.wait_count.assign(static_cast<std::size_t>(s.wait_ptr.back()), 0);
+    }
+    for (int t = 0; t < T; ++t) {
+      std::fill(last_wait.begin(), last_wait.end(), 0);
+      for (index_t i = s.thread_ptr[static_cast<std::size_t>(t)];
+           i < s.thread_ptr[static_cast<std::size_t>(t) + 1]; ++i) {
+        const index_t row = s.rows[static_cast<std::size_t>(i)];
+        ++gen;
+        touched.clear();
+        deps(row, [&](index_t d) {
+          const index_t ot = owner[static_cast<std::size_t>(d)];
+          if (ot == kInvalidIndex || ot == static_cast<index_t>(t)) return;
+          if (pass == 0) ++s.deps_total;
+          const index_t cnt = posn[static_cast<std::size_t>(d)] + 1;
+          if (need_stamp[static_cast<std::size_t>(ot)] != gen) {
+            need_stamp[static_cast<std::size_t>(ot)] = gen;
+            need[static_cast<std::size_t>(ot)] = cnt;
+            touched.push_back(ot);
+          } else {
+            need[static_cast<std::size_t>(ot)] =
+                std::max(need[static_cast<std::size_t>(ot)], cnt);
+          }
+        });
+        std::sort(touched.begin(), touched.end());
+        index_t w = (pass == 1) ? s.wait_ptr[static_cast<std::size_t>(i)] : 0;
+        index_t kept = 0;
+        for (index_t ot : touched) {
+          const index_t cnt = need[static_cast<std::size_t>(ot)];
+          if (cnt <= last_wait[static_cast<std::size_t>(ot)]) continue;  // pruned
+          last_wait[static_cast<std::size_t>(ot)] = cnt;
+          if (pass == 1) {
+            s.wait_thread[static_cast<std::size_t>(w)] = ot;
+            s.wait_count[static_cast<std::size_t>(w)] = cnt;
+            ++w;
+          }
+          ++kept;
+        }
+        if (pass == 0) {
+          s.wait_ptr[static_cast<std::size_t>(i) + 1] = kept;
+          s.deps_kept += kept;
+        }
+      }
+    }
+    if (pass == 0) {
+      // Reset stats that the counting pass accumulated so the fill pass does
+      // not double them (deps_total only counted in pass 0 by design).
+    }
+  }
+  return s;
+}
+
+P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
+                                         std::span<const index_t> upper_level_ptr,
+                                         int threads) {
+  const index_t n_upper = upper_level_ptr.empty() ? 0 : upper_level_ptr.back();
+  // Levels are contiguous row ranges after the plan permutation; materialize
+  // the identity listing.
+  std::vector<index_t> rows(static_cast<std::size_t>(n_upper));
+  for (index_t r = 0; r < n_upper; ++r) rows[static_cast<std::size_t>(r)] = r;
+  const DepsFn deps = [&lu](index_t row, const std::function<void(index_t)>& yield) {
+    for (index_t c : lu.row_cols(row)) {
+      if (c >= row) break;
+      yield(c);
+    }
+  };
+  return build_p2p_schedule(lu.rows(), upper_level_ptr, rows, deps, threads);
+}
+
+P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads) {
+  const LevelSets ls = compute_level_sets_upper(lu);
+  const DepsFn deps = [&lu](index_t row, const std::function<void(index_t)>& yield) {
+    auto cols = lu.row_cols(row);
+    for (std::size_t k = cols.size(); k-- > 0;) {
+      if (cols[k] <= row) break;
+      yield(cols[k]);
+    }
+  };
+  return build_p2p_schedule(lu.rows(), ls.level_ptr, ls.rows_by_level, deps,
+                            threads);
+}
+
+}  // namespace javelin

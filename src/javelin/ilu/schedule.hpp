@@ -1,0 +1,120 @@
+// Point-to-point level-scheduled execution (paper §III-A, Fig. 4).
+//
+// Rows of each level are mapped to threads in contiguous slices; each thread
+// executes its rows level-by-level in a fixed order. That fixed order is the
+// "implied ordering" that lets dependencies be pruned:
+//   * same-thread dependencies vanish (program order),
+//   * per producer thread only the MAXIMUM needed schedule position is kept
+//     (its progress counter is monotone),
+//   * a dependency already implied by an earlier wait of the same consumer
+//     thread is dropped (build-time transitive pruning).
+// At runtime a row performs at most (threads - 1) spin-waits on padded
+// progress counters — no barriers, no tasks (paper: "point-to-point's
+// implementation relies on inexpensive spinlocks and allows for certain
+// threads to speed ahead of others").
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "javelin/sparse/csr.hpp"
+#include "javelin/support/parallel.hpp"
+#include "javelin/support/spinwait.hpp"
+
+namespace javelin {
+
+struct P2PSchedule {
+  int threads = 1;
+  index_t n_total = 0;  ///< dimension of the row-index space
+
+  /// Execution order: thread t runs rows[thread_ptr[t] .. thread_ptr[t+1]).
+  std::vector<index_t> thread_ptr;
+  std::vector<index_t> rows;
+
+  /// Sparsified waits, aligned with `rows`: before executing rows[i], wait
+  /// until wait_thread[w] has published wait_count[w] rows, for
+  /// w in [wait_ptr[i], wait_ptr[i+1]).
+  std::vector<index_t> wait_ptr;
+  std::vector<index_t> wait_thread;
+  std::vector<index_t> wait_count;
+
+  /// Dependency-safe serial order (level-major) used when the runtime cannot
+  /// supply the planned team size.
+  std::vector<index_t> serial_order;
+
+  // --- statistics ----------------------------------------------------------
+  index_t deps_total = 0;    ///< cross-thread dependencies before pruning
+  index_t deps_kept = 0;     ///< spin-waits actually stored
+  index_t num_levels = 0;
+
+  index_t num_rows() const noexcept { return static_cast<index_t>(rows.size()); }
+};
+
+/// Yields the dependency rows of a given row (rows that must complete
+/// first). Dependencies outside the scheduled row set are ignored (they are
+/// satisfied by construction — e.g. upper-stage rows for the corner).
+using DepsFn = std::function<void(index_t row, const std::function<void(index_t)>& yield)>;
+
+/// Build a schedule from explicit level sets (level-major lists of rows).
+/// `levels_rows` / `levels_ptr` follow the LevelSets layout. `deps` is
+/// consulted once per row at build time.
+P2PSchedule build_p2p_schedule(index_t n_total,
+                               std::span<const index_t> level_ptr,
+                               std::span<const index_t> rows_by_level,
+                               const DepsFn& deps, int threads);
+
+/// Forward schedule for the upper stage of a two-stage plan: rows
+/// [0, n_upper) with contiguous levels; dependencies are the strictly-lower
+/// columns of `lu` (which is both the factorization and the forward-solve
+/// dependency structure — the co-design of paper §VI).
+P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
+                                         std::span<const index_t> upper_level_ptr,
+                                         int threads);
+
+/// Backward schedule over ALL rows: dependencies are the strictly-upper
+/// columns of `lu`; levels computed on that pattern, processed high-to-low.
+P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads);
+
+/// Execute the schedule. `row_fn(row, thread)` is called once per row, in
+/// dependency order, from inside a parallel region; it must not throw.
+/// Falls back to the serial order when the OpenMP runtime provides a team
+/// smaller than planned.
+template <class RowFn>
+void p2p_execute(const P2PSchedule& s, RowFn&& row_fn) {
+  if (s.threads <= 1) {
+    for (index_t r : s.serial_order) row_fn(r, 0);
+    return;
+  }
+  ProgressCounters progress(s.threads);
+  bool fallback = false;
+#pragma omp parallel num_threads(s.threads)
+  {
+#pragma omp single
+    {
+      if (team_size() < s.threads) fallback = true;
+    }
+    // (implicit barrier after single)
+    if (!fallback) {
+      const int t = thread_id();
+      const index_t lo = s.thread_ptr[static_cast<std::size_t>(t)];
+      const index_t hi = s.thread_ptr[static_cast<std::size_t>(t) + 1];
+      index_t done = 0;
+      for (index_t i = lo; i < hi; ++i) {
+        for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
+             w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+          progress.wait_for(static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
+                            s.wait_count[static_cast<std::size_t>(w)]);
+        }
+        row_fn(s.rows[static_cast<std::size_t>(i)], t);
+        ++done;
+        progress.publish(t, done);
+      }
+    }
+  }
+  if (fallback) {
+    for (index_t r : s.serial_order) row_fn(r, 0);
+  }
+}
+
+}  // namespace javelin

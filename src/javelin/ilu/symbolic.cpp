@@ -1,0 +1,180 @@
+#include "javelin/ilu/symbolic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "javelin/support/scan.hpp"
+
+namespace javelin {
+
+namespace {
+
+/// ILU(0) pattern: copy A, inserting missing diagonal entries with value 0.
+CsrMatrix ilu0_pattern(const CsrMatrix& a, SymbolicStats* stats) {
+  const index_t n = a.rows();
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  index_t added = 0;
+  for (index_t r = 0; r < n; ++r) {
+    const bool has_diag = a.find(r, r) != kInvalidIndex;
+    rp[static_cast<std::size_t>(r) + 1] = a.row_nnz(r) + (has_diag ? 0 : 1);
+    added += has_diag ? 0 : 1;
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+  std::vector<index_t> ci(static_cast<std::size_t>(rp.back()));
+  std::vector<value_t> vv(static_cast<std::size_t>(rp.back()), value_t{0});
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    index_t w = rp[static_cast<std::size_t>(r)];
+    bool diag_written = false;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.col_idx()[static_cast<std::size_t>(k)];
+      if (!diag_written && c > r) {
+        ci[static_cast<std::size_t>(w)] = r;
+        vv[static_cast<std::size_t>(w)] = 0;
+        ++w;
+        diag_written = true;
+      }
+      if (c == r) diag_written = true;
+      ci[static_cast<std::size_t>(w)] = c;
+      vv[static_cast<std::size_t>(w)] = a.values()[static_cast<std::size_t>(k)];
+      ++w;
+    }
+    if (!diag_written) {
+      ci[static_cast<std::size_t>(w)] = r;
+      vv[static_cast<std::size_t>(w)] = 0;
+      ++w;
+    }
+  }
+  if (stats) {
+    stats->pattern_nnz = static_cast<index_t>(ci.size());
+    stats->fill_nnz = 0;
+    stats->added_diagonals = added;
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+}  // namespace
+
+CsrMatrix ilu_symbolic(const CsrMatrix& a, int fill_level, SymbolicStats* stats) {
+  JAVELIN_CHECK(a.square(), "ILU requires a square matrix");
+  JAVELIN_CHECK(fill_level >= 0, "fill level must be nonnegative");
+  if (fill_level == 0) return ilu0_pattern(a, stats);
+
+  const index_t n = a.rows();
+  constexpr int kInfLevel = std::numeric_limits<int>::max() / 2;
+
+  // Factor pattern rows built incrementally; row i consumes U-parts of
+  // earlier rows. Levels stored per entry.
+  std::vector<std::vector<index_t>> rows(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> row_levels(static_cast<std::size_t>(n));
+  // Start position of the U part (col >= diag) within each finished row.
+  std::vector<index_t> u_start(static_cast<std::size_t>(n), 0);
+
+  // Dense workspace: level per column + linked-list traversal in sorted
+  // order (classic IKJ symbolic kernel).
+  std::vector<int> lev(static_cast<std::size_t>(n), kInfLevel);
+  std::vector<index_t> next(static_cast<std::size_t>(n) + 1, kInvalidIndex);
+  const index_t kHead = n;  // sentinel index for the linked list head
+
+  index_t added_diag = 0;
+  index_t fill_total = 0;
+
+  for (index_t i = 0; i < n; ++i) {
+    // Seed the work list with pattern(A) row i (level 0) plus the diagonal.
+    next[static_cast<std::size_t>(kHead)] = kInvalidIndex;
+    index_t list_tail = kHead;  // insertion cursor for sorted build
+    const auto insert_sorted = [&](index_t col, int level) {
+      if (lev[static_cast<std::size_t>(col)] != kInfLevel) {
+        lev[static_cast<std::size_t>(col)] =
+            std::min(lev[static_cast<std::size_t>(col)], level);
+        return;
+      }
+      lev[static_cast<std::size_t>(col)] = level;
+      // Find insertion point. Amortized cheap when inserting ascending runs:
+      // start from list_tail if it precedes col, else from head.
+      index_t p = (list_tail != kHead && list_tail < col) ? list_tail : kHead;
+      while (next[static_cast<std::size_t>(p)] != kInvalidIndex &&
+             next[static_cast<std::size_t>(p)] < col) {
+        p = next[static_cast<std::size_t>(p)];
+      }
+      next[static_cast<std::size_t>(col)] = next[static_cast<std::size_t>(p)];
+      next[static_cast<std::size_t>(p)] = col;
+      list_tail = col;
+    };
+
+    bool saw_diag = false;
+    for (index_t c : a.row_cols(i)) {
+      insert_sorted(c, 0);
+      saw_diag |= (c == i);
+    }
+    if (!saw_diag) {
+      insert_sorted(i, 0);
+      ++added_diag;
+    }
+
+    // Up-looking symbolic elimination: walk the list in sorted order; for
+    // every j < i merge in row j's U-part with incremented levels.
+    for (index_t j = next[static_cast<std::size_t>(kHead)];
+         j != kInvalidIndex && j < i; j = next[static_cast<std::size_t>(j)]) {
+      const int lev_ij = lev[static_cast<std::size_t>(j)];
+      const auto& rj = rows[static_cast<std::size_t>(j)];
+      const auto& rjl = row_levels[static_cast<std::size_t>(j)];
+      for (std::size_t m = static_cast<std::size_t>(u_start[static_cast<std::size_t>(j)]);
+           m < rj.size(); ++m) {
+        const index_t col = rj[m];
+        if (col <= j) continue;  // U part only (strictly right of pivot)
+        const int f = lev_ij + rjl[m] + 1;
+        if (f <= fill_level) insert_sorted(col, f);
+      }
+    }
+
+    // Harvest the list into row i, clearing workspace as we go.
+    auto& ri = rows[static_cast<std::size_t>(i)];
+    auto& ril = row_levels[static_cast<std::size_t>(i)];
+    for (index_t c = next[static_cast<std::size_t>(kHead)]; c != kInvalidIndex;) {
+      ri.push_back(c);
+      ril.push_back(lev[static_cast<std::size_t>(c)]);
+      if (lev[static_cast<std::size_t>(c)] > 0) ++fill_total;
+      lev[static_cast<std::size_t>(c)] = kInfLevel;
+      const index_t nc = next[static_cast<std::size_t>(c)];
+      next[static_cast<std::size_t>(c)] = kInvalidIndex;
+      c = nc;
+    }
+    u_start[static_cast<std::size_t>(i)] = static_cast<index_t>(
+        std::lower_bound(ri.begin(), ri.end(), i) - ri.begin());
+  }
+
+  // Assemble CSR and scatter A's values onto the pattern.
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    rp[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(rows[static_cast<std::size_t>(i)].size());
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+  std::vector<index_t> ci(static_cast<std::size_t>(rp.back()));
+  std::vector<value_t> vv(static_cast<std::size_t>(rp.back()), value_t{0});
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    index_t w = rp[static_cast<std::size_t>(i)];
+    const auto& ri = rows[static_cast<std::size_t>(i)];
+    auto acols = a.row_cols(i);
+    auto avals = a.row_vals(i);
+    std::size_t ak = 0;
+    for (index_t c : ri) {
+      while (ak < acols.size() && acols[ak] < c) ++ak;
+      const value_t v =
+          (ak < acols.size() && acols[ak] == c) ? avals[ak] : value_t{0};
+      ci[static_cast<std::size_t>(w)] = c;
+      vv[static_cast<std::size_t>(w)] = v;
+      ++w;
+    }
+  }
+  if (stats) {
+    stats->pattern_nnz = static_cast<index_t>(ci.size());
+    stats->fill_nnz = fill_total;
+    stats->added_diagonals = added_diag;
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+}  // namespace javelin

@@ -1,0 +1,32 @@
+// Symbolic phase: determine the ILU sparsity pattern S (paper §III: "depends
+// on predetermining the sparsity pattern and applying an up-looking LU
+// algorithm ... to the pattern", citing Hysom & Pothen [6]).
+//
+//   * ILU(0): S = pattern(A) with the diagonal added if missing.
+//   * ILU(k): classic level-of-fill — fill entry (i,j) enters S when
+//     lev(i,j) <= k with lev from the IKJ recurrence
+//     lev(i,m) = min(lev(i,m), lev(i,j) + lev(j,m) + 1).
+//
+// The returned matrix carries the values of A scattered onto S (fill
+// positions start at zero), ready for the numeric up-looking pass.
+#pragma once
+
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin {
+
+/// Pattern statistics of a symbolic factorization.
+struct SymbolicStats {
+  index_t pattern_nnz = 0;
+  index_t fill_nnz = 0;      ///< entries added beyond pattern(A)
+  index_t added_diagonals = 0;
+};
+
+/// Compute the ILU(k) pattern of `a` and scatter a's values onto it.
+/// Structurally missing diagonal entries are inserted with value 0 (the
+/// numeric phase rejects exact-zero pivots later, so this only legalizes the
+/// storage layout). k = 0 reduces to a copy with diagonal insertion.
+CsrMatrix ilu_symbolic(const CsrMatrix& a, int fill_level,
+                       SymbolicStats* stats = nullptr);
+
+}  // namespace javelin

@@ -1,0 +1,91 @@
+#include "javelin/sparse/coo.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "javelin/support/scan.hpp"
+
+namespace javelin {
+
+CsrMatrix coo_to_csr(const CooMatrix& coo) {
+  const index_t n = coo.rows;
+  const index_t m = coo.cols;
+  const std::size_t nnz_in = coo.row.size();
+  JAVELIN_CHECK(coo.col.size() == nnz_in && coo.val.size() == nnz_in,
+                "COO arrays must have equal length");
+
+  // Count entries per row, scan into row pointers.
+  std::vector<index_t> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t k = 0; k < nnz_in; ++k) {
+    const index_t r = coo.row[k];
+    JAVELIN_CHECK(r >= 0 && r < n, "COO row index out of range");
+    JAVELIN_CHECK(coo.col[k] >= 0 && coo.col[k] < m, "COO col index out of range");
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  exclusive_scan_inplace(std::span<index_t>(counts));
+
+  // Scatter.
+  std::vector<index_t> rp = counts;  // running write cursors
+  std::vector<index_t> ci(nnz_in);
+  std::vector<value_t> vv(nnz_in);
+  for (std::size_t k = 0; k < nnz_in; ++k) {
+    const index_t pos = rp[static_cast<std::size_t>(coo.row[k])]++;
+    ci[static_cast<std::size_t>(pos)] = coo.col[k];
+    vv[static_cast<std::size_t>(pos)] = coo.val[k];
+  }
+  // counts still holds the exclusive-scan start offsets (the scatter advanced
+  // the rp copy, not counts); the terminator is total input nnz.
+  counts[static_cast<std::size_t>(n)] = static_cast<index_t>(nnz_in);
+
+  // Sort each row and merge duplicates.
+  std::vector<index_t> out_rp(static_cast<std::size_t>(n) + 1, 0);
+#pragma omp parallel
+  {
+    std::vector<std::pair<index_t, value_t>> buf;
+#pragma omp for schedule(dynamic, 64)
+    for (index_t r = 0; r < n; ++r) {
+      const index_t lo = counts[static_cast<std::size_t>(r)];
+      const index_t hi = counts[static_cast<std::size_t>(r) + 1];
+      buf.clear();
+      for (index_t k = lo; k < hi; ++k) {
+        buf.emplace_back(ci[static_cast<std::size_t>(k)], vv[static_cast<std::size_t>(k)]);
+      }
+      std::sort(buf.begin(), buf.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Merge duplicates in place inside buf.
+      index_t w = 0;
+      for (std::size_t k = 0; k < buf.size(); ++k) {
+        if (w > 0 && buf[static_cast<std::size_t>(w) - 1].first == buf[k].first) {
+          buf[static_cast<std::size_t>(w) - 1].second += buf[k].second;
+        } else {
+          buf[static_cast<std::size_t>(w)] = buf[k];
+          ++w;
+        }
+      }
+      for (index_t k = 0; k < w; ++k) {
+        ci[static_cast<std::size_t>(lo + k)] = buf[static_cast<std::size_t>(k)].first;
+        vv[static_cast<std::size_t>(lo + k)] = buf[static_cast<std::size_t>(k)].second;
+      }
+      out_rp[static_cast<std::size_t>(r) + 1] = w;
+    }
+  }
+
+  // Compact: rows may have shrunk after duplicate merging.
+  inclusive_scan_inplace(std::span<index_t>(out_rp).subspan(1));
+  const std::size_t nnz_out = static_cast<std::size_t>(out_rp.back());
+  std::vector<index_t> out_ci(nnz_out);
+  std::vector<value_t> out_vv(nnz_out);
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    const index_t src = counts[static_cast<std::size_t>(r)];
+    const index_t dst = out_rp[static_cast<std::size_t>(r)];
+    const index_t len = out_rp[static_cast<std::size_t>(r) + 1] - dst;
+    for (index_t k = 0; k < len; ++k) {
+      out_ci[static_cast<std::size_t>(dst + k)] = ci[static_cast<std::size_t>(src + k)];
+      out_vv[static_cast<std::size_t>(dst + k)] = vv[static_cast<std::size_t>(src + k)];
+    }
+  }
+  return CsrMatrix(n, m, std::move(out_rp), std::move(out_ci), std::move(out_vv));
+}
+
+}  // namespace javelin

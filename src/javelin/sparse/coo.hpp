@@ -1,0 +1,39 @@
+// Coordinate-format staging container used by the generators and the
+// Matrix-Market reader before conversion to CSR.
+#pragma once
+
+#include <vector>
+
+#include "javelin/sparse/csr.hpp"
+#include "javelin/support/types.hpp"
+
+namespace javelin {
+
+struct CooMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<value_t> val;
+
+  index_t nnz() const noexcept { return static_cast<index_t>(row.size()); }
+
+  void reserve(std::size_t n) {
+    row.reserve(n);
+    col.reserve(n);
+    val.reserve(n);
+  }
+
+  void push(index_t r, index_t c, value_t v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+};
+
+/// Convert COO to CSR. Duplicate (r, c) entries are summed (the Matrix-Market
+/// convention); rows come out sorted by column. Runs the counting and
+/// scatter passes in parallel.
+CsrMatrix coo_to_csr(const CooMatrix& coo);
+
+}  // namespace javelin

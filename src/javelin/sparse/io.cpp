@@ -1,0 +1,97 @@
+#include "javelin/sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "javelin/sparse/coo.hpp"
+
+namespace javelin {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  JAVELIN_CHECK(static_cast<bool>(std::getline(in, line)), "empty Matrix-Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  JAVELIN_CHECK(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  JAVELIN_CHECK(object == "matrix", "only 'matrix' objects supported");
+  JAVELIN_CHECK(format == "coordinate", "only 'coordinate' format supported");
+  JAVELIN_CHECK(field == "real" || field == "integer" || field == "pattern",
+                "unsupported field type: " + field);
+  const bool is_pattern = field == "pattern";
+  const bool is_symmetric = symmetry == "symmetric";
+  const bool is_skew = symmetry == "skew-symmetric";
+  JAVELIN_CHECK(is_symmetric || is_skew || symmetry == "general",
+                "unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::int64_t rows64 = 0, cols64 = 0, nnz64 = 0;
+  size_line >> rows64 >> cols64 >> nnz64;
+  JAVELIN_CHECK(!size_line.fail(), "malformed size line");
+
+  CooMatrix coo;
+  coo.rows = checked_cast<index_t>(rows64, "rows");
+  coo.cols = checked_cast<index_t>(cols64, "cols");
+  coo.reserve(static_cast<std::size_t>(nnz64) * ((is_symmetric || is_skew) ? 2 : 1));
+
+  for (std::int64_t k = 0; k < nnz64; ++k) {
+    std::int64_t r64 = 0, c64 = 0;
+    double v = 1.0;
+    in >> r64 >> c64;
+    if (!is_pattern) in >> v;
+    JAVELIN_CHECK(!in.fail(), "malformed entry line");
+    const index_t r = checked_cast<index_t>(r64 - 1, "row index");
+    const index_t c = checked_cast<index_t>(c64 - 1, "col index");
+    coo.push(r, c, static_cast<value_t>(v));
+    if ((is_symmetric || is_skew) && r != c) {
+      coo.push(c, r, static_cast<value_t>(is_skew ? -v : v));
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  JAVELIN_CHECK(f.good(), "cannot open file: " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      out << (r + 1) << ' ' << (a.col_idx()[static_cast<std::size_t>(k)] + 1) << ' '
+          << a.values()[static_cast<std::size_t>(k)] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream f(path);
+  JAVELIN_CHECK(f.good(), "cannot open file for writing: " + path);
+  write_matrix_market(f, a);
+}
+
+}  // namespace javelin

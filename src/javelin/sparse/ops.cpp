@@ -1,0 +1,299 @@
+#include "javelin/sparse/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "javelin/support/scan.hpp"
+
+namespace javelin {
+
+CsrMatrix transpose(const CsrMatrix& a) {
+  const index_t n = a.rows();
+  const index_t m = a.cols();
+  const index_t nnz = a.nnz();
+  std::vector<index_t> rp(static_cast<std::size_t>(m) + 1, 0);
+  for (index_t k = 0; k < nnz; ++k) {
+    ++rp[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)]) + 1];
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+  std::vector<index_t> cursor(rp.begin(), rp.end() - 1);
+  std::vector<index_t> ci(static_cast<std::size_t>(nnz));
+  std::vector<value_t> vv(static_cast<std::size_t>(nnz));
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.col_idx()[static_cast<std::size_t>(k)];
+      const index_t pos = cursor[static_cast<std::size_t>(c)]++;
+      ci[static_cast<std::size_t>(pos)] = r;
+      vv[static_cast<std::size_t>(pos)] = a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  // Row-major traversal of A emits ascending r per column, so rows of the
+  // transpose come out sorted already.
+  return CsrMatrix(m, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+CsrMatrix pattern_symmetrize(const CsrMatrix& a) {
+  JAVELIN_CHECK(a.square(), "pattern_symmetrize requires a square matrix");
+  const CsrMatrix at = transpose(a);
+  const index_t n = a.rows();
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> ci;
+  std::vector<value_t> vv;
+  ci.reserve(static_cast<std::size_t>(a.nnz()) * 2);
+  vv.reserve(static_cast<std::size_t>(a.nnz()) * 2);
+  for (index_t r = 0; r < n; ++r) {
+    auto ac = a.row_cols(r);
+    auto av = a.row_vals(r);
+    auto bc = at.row_cols(r);
+    auto bv = at.row_vals(r);
+    std::size_t i = 0, j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      index_t col;
+      value_t val;
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        col = ac[i];
+        val = av[i];
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        col = bc[j];
+        val = bv[j];
+        ++j;
+      } else {
+        col = ac[i];
+        val = av[i] + bv[j];
+        ++i;
+        ++j;
+      }
+      ci.push_back(col);
+      vv.push_back(val);
+    }
+    rp[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(ci.size());
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+bool pattern_symmetric(const CsrMatrix& a) {
+  if (!a.square()) return false;
+  const CsrMatrix at = transpose(a);
+  return a.row_ptr().size() == at.row_ptr().size() &&
+         std::equal(a.row_ptr().begin(), a.row_ptr().end(), at.row_ptr().begin()) &&
+         std::equal(a.col_idx().begin(), a.col_idx().end(), at.col_idx().begin());
+}
+
+bool is_permutation(std::span<const index_t> perm) {
+  const index_t n = static_cast<index_t>(perm.size());
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<index_t> invert_permutation(std::span<const index_t> perm) {
+  std::vector<index_t> inv(perm.size(), kInvalidIndex);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+std::vector<index_t> compose_permutations(std::span<const index_t> first,
+                                          std::span<const index_t> second) {
+  JAVELIN_CHECK(first.size() == second.size(), "permutation size mismatch");
+  std::vector<index_t> out(first.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = first[static_cast<std::size_t>(second[i])];
+  }
+  return out;
+}
+
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const index_t> perm) {
+  JAVELIN_CHECK(a.square(), "symmetric permutation requires a square matrix");
+  JAVELIN_CHECK(perm.size() == static_cast<std::size_t>(a.rows()),
+                "permutation length mismatch");
+  const index_t n = a.rows();
+  const std::vector<index_t> inv = invert_permutation(perm);
+
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t r = 0; r < n; ++r) {
+    rp[static_cast<std::size_t>(r) + 1] = a.row_nnz(perm[static_cast<std::size_t>(r)]);
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+  std::vector<index_t> ci(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vv(static_cast<std::size_t>(a.nnz()));
+
+  // Parallel first-touch copy into the permuted layout (paper §III: "we
+  // permute the nonzeros ... while copying A into the CSR data-structure of
+  // L and U in parallel allowing for first-touch").
+#pragma omp parallel
+  {
+    std::vector<std::pair<index_t, value_t>> buf;
+#pragma omp for schedule(dynamic, 64)
+    for (index_t r = 0; r < n; ++r) {
+      const index_t old_r = perm[static_cast<std::size_t>(r)];
+      buf.clear();
+      for (index_t k = a.row_begin(old_r); k < a.row_end(old_r); ++k) {
+        buf.emplace_back(inv[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])],
+                         a.values()[static_cast<std::size_t>(k)]);
+      }
+      std::sort(buf.begin(), buf.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      index_t w = rp[static_cast<std::size_t>(r)];
+      for (const auto& [c, v] : buf) {
+        ci[static_cast<std::size_t>(w)] = c;
+        vv[static_cast<std::size_t>(w)] = v;
+        ++w;
+      }
+    }
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+CsrMatrix permute_rows(const CsrMatrix& a, std::span<const index_t> perm) {
+  JAVELIN_CHECK(perm.size() == static_cast<std::size_t>(a.rows()),
+                "permutation length mismatch");
+  const index_t n = a.rows();
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t r = 0; r < n; ++r) {
+    rp[static_cast<std::size_t>(r) + 1] = a.row_nnz(perm[static_cast<std::size_t>(r)]);
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+  std::vector<index_t> ci(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vv(static_cast<std::size_t>(a.nnz()));
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    const index_t old_r = perm[static_cast<std::size_t>(r)];
+    index_t w = rp[static_cast<std::size_t>(r)];
+    for (index_t k = a.row_begin(old_r); k < a.row_end(old_r); ++k, ++w) {
+      ci[static_cast<std::size_t>(w)] = a.col_idx()[static_cast<std::size_t>(k)];
+      vv[static_cast<std::size_t>(w)] = a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  return CsrMatrix(n, a.cols(), std::move(rp), std::move(ci), std::move(vv));
+}
+
+namespace {
+
+template <class Keep>
+CsrMatrix extract_if(const CsrMatrix& a, Keep keep) {
+  const index_t n = a.rows();
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t r = 0; r < n; ++r) {
+    index_t cnt = 0;
+    for (index_t c : a.row_cols(r)) cnt += keep(r, c) ? 1 : 0;
+    rp[static_cast<std::size_t>(r) + 1] = cnt;
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+  std::vector<index_t> ci(static_cast<std::size_t>(rp.back()));
+  std::vector<value_t> vv(static_cast<std::size_t>(rp.back()));
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    index_t w = rp[static_cast<std::size_t>(r)];
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.col_idx()[static_cast<std::size_t>(k)];
+      if (!keep(r, c)) continue;
+      ci[static_cast<std::size_t>(w)] = c;
+      vv[static_cast<std::size_t>(w)] = a.values()[static_cast<std::size_t>(k)];
+      ++w;
+    }
+  }
+  return CsrMatrix(n, a.cols(), std::move(rp), std::move(ci), std::move(vv));
+}
+
+}  // namespace
+
+CsrMatrix extract_strict_lower(const CsrMatrix& a) {
+  return extract_if(a, [](index_t r, index_t c) { return c < r; });
+}
+CsrMatrix extract_strict_upper(const CsrMatrix& a) {
+  return extract_if(a, [](index_t r, index_t c) { return c > r; });
+}
+CsrMatrix extract_lower(const CsrMatrix& a) {
+  return extract_if(a, [](index_t r, index_t c) { return c <= r; });
+}
+CsrMatrix extract_upper(const CsrMatrix& a) {
+  return extract_if(a, [](index_t r, index_t c) { return c >= r; });
+}
+
+std::vector<index_t> diagonal_positions(const CsrMatrix& a) {
+  JAVELIN_CHECK(a.square(), "diagonal_positions requires a square matrix");
+  std::vector<index_t> pos(static_cast<std::size_t>(a.rows()));
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const index_t p = a.find(r, r);
+    JAVELIN_CHECK(p != kInvalidIndex, "structurally missing diagonal entry");
+    pos[static_cast<std::size_t>(r)] = p;
+  }
+  return pos;
+}
+
+value_t max_abs_difference(const CsrMatrix& a, const CsrMatrix& b) {
+  JAVELIN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                "dimension mismatch");
+  value_t worst = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    auto ac = a.row_cols(r);
+    auto av = a.row_vals(r);
+    auto bc = b.row_cols(r);
+    auto bv = b.row_vals(r);
+    std::size_t i = 0, j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      value_t d;
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        d = std::abs(av[i]);
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        d = std::abs(bv[j]);
+        ++j;
+      } else {
+        d = std::abs(av[i] - bv[j]);
+        ++i;
+        ++j;
+      }
+      worst = std::max(worst, d);
+    }
+  }
+  return worst;
+}
+
+value_t frobenius_norm(const CsrMatrix& a) {
+  value_t s = 0;
+  for (value_t v : a.values()) s += v * v;
+  return std::sqrt(s);
+}
+
+std::vector<value_t> to_dense(const CsrMatrix& a) {
+  std::vector<value_t> d(static_cast<std::size_t>(a.rows()) *
+                             static_cast<std::size_t>(a.cols()),
+                         value_t{0});
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      d[static_cast<std::size_t>(r) * static_cast<std::size_t>(a.cols()) +
+        static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])] =
+          a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+std::vector<value_t> dense_matmul(const CsrMatrix& a, const CsrMatrix& b) {
+  JAVELIN_CHECK(a.cols() == b.rows(), "dimension mismatch in matmul");
+  std::vector<value_t> out(static_cast<std::size_t>(a.rows()) *
+                               static_cast<std::size_t>(b.cols()),
+                           value_t{0});
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t mid = a.col_idx()[static_cast<std::size_t>(k)];
+      const value_t av = a.values()[static_cast<std::size_t>(k)];
+      for (index_t k2 = b.row_begin(mid); k2 < b.row_end(mid); ++k2) {
+        out[static_cast<std::size_t>(r) * static_cast<std::size_t>(b.cols()) +
+            static_cast<std::size_t>(b.col_idx()[static_cast<std::size_t>(k2)])] +=
+            av * b.values()[static_cast<std::size_t>(k2)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace javelin

@@ -1,0 +1,75 @@
+// Structural operations on CSR matrices: transpose, symmetric permutation,
+// pattern symmetrization (A + Aᵀ), triangular extraction, and pattern
+// comparisons. These are the preprocessing primitives Javelin composes
+// (paper §III: level order of lower(A) or lower(A+Aᵀ), permutation into the
+// level ordering during the copy-fill phase).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin {
+
+/// Bᵀ with values. O(nnz) counting transpose; parallel scatter per row bucket.
+CsrMatrix transpose(const CsrMatrix& a);
+
+/// Pattern of A + Aᵀ (values are a[i][j] + a[j][i] treating missing as 0).
+/// Used to build the symmetrized lower pattern that enables the SR lower
+/// stage (paper §III-B).
+CsrMatrix pattern_symmetrize(const CsrMatrix& a);
+
+/// True iff the sparsity pattern (not values) is symmetric — the "SP" column
+/// of paper Table I.
+bool pattern_symmetric(const CsrMatrix& a);
+
+/// Symmetric permutation P·A·Pᵀ. `perm` is new-to-old: row r of the result is
+/// row perm[r] of A, and columns are relabelled by the inverse map.
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const index_t> perm);
+
+/// Row permutation P·A (new-to-old), columns untouched. Used by the
+/// Dulmage–Mendelsohn step which permutes rows to cover the diagonal.
+CsrMatrix permute_rows(const CsrMatrix& a, std::span<const index_t> perm);
+
+/// Invert a permutation: out[perm[i]] = i.
+std::vector<index_t> invert_permutation(std::span<const index_t> perm);
+
+/// True iff perm is a permutation of 0..n-1.
+bool is_permutation(std::span<const index_t> perm);
+
+/// Compose permutations: result[i] = first[second[i]] (apply `first`, then
+/// `second`, both new-to-old).
+std::vector<index_t> compose_permutations(std::span<const index_t> first,
+                                          std::span<const index_t> second);
+
+/// Strictly lower-triangular part (diagonal excluded).
+CsrMatrix extract_strict_lower(const CsrMatrix& a);
+
+/// Strictly upper-triangular part (diagonal excluded).
+CsrMatrix extract_strict_upper(const CsrMatrix& a);
+
+/// Lower-triangular part including diagonal.
+CsrMatrix extract_lower(const CsrMatrix& a);
+
+/// Upper-triangular part including diagonal.
+CsrMatrix extract_upper(const CsrMatrix& a);
+
+/// Position of each diagonal entry in the nonzero array; throws if a
+/// diagonal entry is structurally missing.
+std::vector<index_t> diagonal_positions(const CsrMatrix& a);
+
+/// Max |a_ij - b_ij| over the union pattern (dense-free comparison helper for
+/// tests and benches).
+value_t max_abs_difference(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Frobenius norm.
+value_t frobenius_norm(const CsrMatrix& a);
+
+/// Dense A*B for small validation problems in tests (n <= a few thousand).
+std::vector<value_t> dense_matmul(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Dense representation (row-major rows x cols) for small test matrices.
+std::vector<value_t> to_dense(const CsrMatrix& a);
+
+}  // namespace javelin

@@ -1,0 +1,154 @@
+#include "javelin/sparse/spmv.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+namespace javelin {
+
+void spmv_serial(const CsrMatrix& a, std::span<const value_t> x,
+                 std::span<value_t> y) {
+  assert(x.size() >= static_cast<std::size_t>(a.cols()));
+  assert(y.size() >= static_cast<std::size_t>(a.rows()));
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+  for (index_t r = 0; r < a.rows(); ++r) {
+    value_t acc = 0;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void spmv(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  assert(x.size() >= static_cast<std::size_t>(a.cols()));
+  assert(y.size() >= static_cast<std::size_t>(a.rows()));
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t r = 0; r < a.rows(); ++r) {
+    value_t acc = 0;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void spmv_axpby(const CsrMatrix& a, value_t alpha, std::span<const value_t> x,
+                value_t beta, std::span<value_t> y) {
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t r = 0; r < a.rows(); ++r) {
+    value_t acc = 0;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = alpha * acc + beta * y[static_cast<std::size_t>(r)];
+  }
+}
+
+SegmentedTiles SegmentedTiles::build(const CsrMatrix& a, index_t tile_size) {
+  JAVELIN_CHECK(tile_size > 0, "tile_size must be positive");
+  SegmentedTiles t;
+  t.tile_size = tile_size;
+  t.num_tiles = (a.nnz() + tile_size - 1) / tile_size;
+  t.first_row.resize(static_cast<std::size_t>(t.num_tiles));
+  const auto rp = a.row_ptr();
+  for (index_t tile = 0; tile < t.num_tiles; ++tile) {
+    const index_t first_nz = tile * tile_size;
+    // Row containing nonzero first_nz: last r with rp[r] <= first_nz.
+    const auto it = std::upper_bound(rp.begin(), rp.end(), first_nz);
+    t.first_row[static_cast<std::size_t>(tile)] =
+        static_cast<index_t>(it - rp.begin()) - 1;
+  }
+  return t;
+}
+
+void spmv_segmented(const CsrMatrix& a, const SegmentedTiles& tiles,
+                    std::span<const value_t> x, std::span<value_t> y) {
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+  const auto rp = a.row_ptr();
+  const index_t nnz = a.nnz();
+
+  // Zero the output first; boundary rows accumulate from several tiles.
+  fill(y.subspan(0, static_cast<std::size_t>(a.rows())), value_t{0});
+
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t tile = 0; tile < tiles.num_tiles; ++tile) {
+    const index_t lo = tile * tiles.tile_size;
+    const index_t hi = std::min<index_t>(lo + tiles.tile_size, nnz);
+    index_t r = tiles.first_row[static_cast<std::size_t>(tile)];
+    // Skip empty rows whose pointer equals lo.
+    while (rp[static_cast<std::size_t>(r) + 1] <= lo) ++r;
+    index_t k = lo;
+    while (k < hi) {
+      const index_t row_end = std::min<index_t>(rp[static_cast<std::size_t>(r) + 1], hi);
+      value_t acc = 0;
+      for (; k < row_end; ++k) {
+        acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+      }
+      const bool whole_row = (rp[static_cast<std::size_t>(r)] >= lo) &&
+                             (rp[static_cast<std::size_t>(r) + 1] <= hi);
+      if (whole_row) {
+        y[static_cast<std::size_t>(r)] = acc;  // sole writer for this row
+      } else {
+        // Row straddles a tile boundary: combine atomically.
+#pragma omp atomic
+        y[static_cast<std::size_t>(r)] += acc;
+      }
+      ++r;
+      while (r < a.rows() && rp[static_cast<std::size_t>(r) + 1] <= k && k < hi) ++r;
+    }
+  }
+}
+
+value_t dot(std::span<const value_t> a, std::span<const value_t> b) {
+  assert(a.size() == b.size());
+  value_t s = 0;
+#pragma omp parallel for schedule(static) reduction(+ : s)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.size()); ++i) {
+    s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+value_t norm2(std::span<const value_t> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+  assert(x.size() == y.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+  }
+}
+
+void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y) {
+  assert(x.size() == y.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
+    y[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+  }
+}
+
+void scale(value_t alpha, std::span<value_t> x) {
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
+    x[static_cast<std::size_t>(i)] *= alpha;
+  }
+}
+
+void copy(std::span<const value_t> src, std::span<value_t> dst) {
+  assert(src.size() <= dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void fill(std::span<value_t> x, value_t v) {
+  std::fill(x.begin(), x.end(), v);
+}
+
+}  // namespace javelin

@@ -1,0 +1,135 @@
+// Light-weight synchronization primitives for point-to-point level-scheduled
+// execution (paper §III-A).
+//
+// The central object is ProgressCounters: one cache-line-padded atomic per
+// thread that counts how many of that thread's scheduled rows have been
+// published. A consumer that needs rows {r1..rk} owned by thread t waits for
+// a single counter to pass max(position(ri)) — the "sparsified" dependency
+// of Park et al. [11] that Javelin builds on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+#include "javelin/support/types.hpp"
+
+namespace javelin {
+
+/// CPU-friendly busy-wait hint.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Hardware destructive interference size; hardcoded because
+/// std::hardware_destructive_interference_size is still flaky across
+/// compilers and we only target x86-64/aarch64 class machines here.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A single atomic counter padded to a cache line so neighbouring threads'
+/// publishes never false-share.
+struct alignas(kCacheLine) PaddedCounter {
+  std::atomic<index_t> value{0};
+  char pad[kCacheLine - sizeof(std::atomic<index_t>)] = {};
+};
+static_assert(sizeof(PaddedCounter) == kCacheLine);
+
+/// Per-thread monotone progress counters with acquire/release publication.
+///
+/// Thread t executes its scheduled items in a fixed order; after finishing
+/// its i-th item (0-based) it calls publish(t, i + 1). Any thread may then
+/// wait_for(t, n) to block until t has published at least n items. Because
+/// counters are monotone, one wait on the *maximum* needed position per
+/// producer thread subsumes all earlier dependencies on that thread.
+class ProgressCounters {
+ public:
+  ProgressCounters() = default;
+  explicit ProgressCounters(int num_threads) { reset(num_threads); }
+
+  void reset(int num_threads) {
+    counters_.assign(static_cast<std::size_t>(num_threads), PaddedCounter{});
+  }
+
+  /// Reset all counters to zero without reallocating (start of a new sweep).
+  void rearm() noexcept {
+    for (auto& c : counters_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+  int num_threads() const noexcept { return static_cast<int>(counters_.size()); }
+
+  /// Publish that `count` items of thread `t` are now globally visible.
+  /// Release order: all stores made while computing those items happen-before
+  /// any acquire load that observes the new count.
+  void publish(int t, index_t count) noexcept {
+    counters_[static_cast<std::size_t>(t)].value.store(count,
+                                                       std::memory_order_release);
+  }
+
+  /// Current published count (acquire).
+  index_t load(int t) const noexcept {
+    return counters_[static_cast<std::size_t>(t)].value.load(
+        std::memory_order_acquire);
+  }
+
+  /// Spin until thread `t` has published at least `count` items.
+  void wait_for(int t, index_t count) const noexcept {
+    const auto& c = counters_[static_cast<std::size_t>(t)].value;
+    while (c.load(std::memory_order_acquire) < count) cpu_pause();
+  }
+
+ private:
+  std::vector<PaddedCounter> counters_;
+};
+
+/// Minimal test-and-test-and-set spin lock (used only on short critical
+/// sections such as lower-stage corner hand-off; the hot paths use
+/// ProgressCounters and are lock-free).
+class SpinLock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) cpu_pause();
+    }
+  }
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Sense-reversing centralized barrier. Only used by the CSR-LS *baseline*
+/// triangular solve (paper §VI compares against it); Javelin's own stages
+/// never barrier between levels.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) noexcept : parties_(parties) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) cpu_pause();
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace javelin

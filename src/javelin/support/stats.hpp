@@ -1,0 +1,55 @@
+// Small statistics helpers used by the planner (row-density heuristics) and
+// the benchmark harness (geometric-mean speedups, level-size medians as in
+// paper Tables III/IV).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace javelin {
+
+template <class T>
+double mean(std::span<const T> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const T& x : xs) s += static_cast<double>(x);
+  return s / static_cast<double>(xs.size());
+}
+
+/// Median by copy-and-nth_element; even-length inputs return the average of
+/// the two middle elements (matches how Table III reports "Med").
+template <class T>
+double median(std::span<const T> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<T> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = static_cast<double>(v[mid]);
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (hi + static_cast<double>(v[mid - 1]));
+}
+
+/// Geometric mean (paper §V reports geometric-mean speedups).
+template <class T>
+double geometric_mean(std::span<const T> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const T& x : xs) s += std::log(static_cast<double>(x));
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+template <class T>
+T min_value(std::span<const T> xs) {
+  return xs.empty() ? T{} : *std::min_element(xs.begin(), xs.end());
+}
+
+template <class T>
+T max_value(std::span<const T> xs) {
+  return xs.empty() ? T{} : *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace javelin

@@ -1,0 +1,43 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace javelin {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly and reports the minimum wall time over `reps`
+/// repetitions after `warmup` unmeasured runs. Minimum (not mean) matches
+/// how scalability papers report kernel times: it filters scheduler noise.
+template <class Fn>
+double min_time_seconds(Fn&& fn, int reps = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace javelin

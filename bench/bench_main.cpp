@@ -1,0 +1,234 @@
+// Benchmark harness: times factor / refactor (persistent scatter map vs the
+// seed binary-search scatter) / triangular solve / SpMV across the synthetic
+// suite and a sweep of thread counts, and emits a BENCH_*.json so the perf
+// trajectory of the repo is measurable PR over PR.
+//
+//   javelin_bench [--scale S] [--threads 1,2,4] [--reps N] [--fill K]
+//                 [--matrices name1,name2] [--out PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "javelin/gen/generators.hpp"
+#include "javelin/ilu/solve.hpp"
+#include "javelin/solver/krylov.hpp"
+#include "javelin/sparse/spmv.hpp"
+#include "javelin/support/parallel.hpp"
+#include "javelin/support/timer.hpp"
+
+using namespace javelin;
+
+namespace {
+
+struct BenchConfig {
+  double scale = 0.02;
+  std::vector<int> threads = {1, 2};
+  int reps = 3;
+  int fill = 0;
+  std::vector<std::string> matrices;  // empty = whole suite
+  std::string out = "BENCH_javelin.json";
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      cfg.scale = std::atof(next().c_str());
+    } else if (arg == "--threads") {
+      cfg.threads.clear();
+      for (const std::string& t : split_csv(next())) {
+        cfg.threads.push_back(std::atoi(t.c_str()));
+      }
+    } else if (arg == "--reps") {
+      cfg.reps = std::max(1, std::atoi(next().c_str()));
+    } else if (arg == "--fill") {
+      cfg.fill = std::atoi(next().c_str());
+    } else if (arg == "--matrices") {
+      cfg.matrices = split_csv(next());
+    } else if (arg == "--out") {
+      cfg.out = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+struct ThreadTimings {
+  int threads = 0;
+  double factor_s = 0;
+  double refactor_s = 0;           // persistent scatter map path
+  double scatter_map_s = 0;        // scatter alone, map path
+  double scatter_searched_s = 0;   // scatter alone, seed path
+  double solve_s = 0;              // one ilu_apply
+  double spmv_s = 0;               // one partitioned spmv
+};
+
+struct MatrixReport {
+  std::string name;
+  index_t n = 0;
+  index_t nnz = 0;
+  index_t levels = 0;
+  index_t rows_moved = 0;
+  std::string method;
+  int pcg_iterations = -1;  // ILU-PCG on the 1st thread count, -1 = not run
+  std::vector<ThreadTimings> timings;
+};
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
+  MatrixReport rep;
+  rep.name = e.name;
+  const CsrMatrix& a = e.matrix;
+  rep.n = a.rows();
+  rep.nnz = a.nnz();
+
+  for (std::size_t ti = 0; ti < cfg.threads.size(); ++ti) {
+    const int t = cfg.threads[ti];
+    ThreadCountGuard guard(t);
+    IluOptions opts;
+    opts.num_threads = t;
+    opts.fill_level = cfg.fill;
+
+    ThreadTimings tt;
+    tt.threads = t;
+    tt.factor_s = min_time_seconds([&] { ilu_factor(a, opts); }, cfg.reps, 1);
+
+    Factorization f = ilu_factor(a, opts);
+    if (ti == 0) {
+      rep.levels = f.plan.total_levels;
+      rep.rows_moved = f.plan.rows_moved;
+      rep.method = lower_method_name(f.plan.method);
+    }
+    tt.refactor_s =
+        min_time_seconds([&] { ilu_refactor(f, a); }, cfg.reps, 1);
+    tt.scatter_map_s =
+        min_time_seconds([&] { scatter_values(f, a); }, cfg.reps, 1);
+    tt.scatter_searched_s =
+        min_time_seconds([&] { scatter_values_searched(f, a); }, cfg.reps, 1);
+    // scatter_values_searched leaves unfactored values; restore the factor
+    // before timing the solve.
+    ilu_refactor(f, a);
+
+    const auto r = random_vector(a.rows(), 0xB0B);
+    std::vector<value_t> z(r.size());
+    SolveWorkspace ws;
+    ilu_apply(f, r, z, ws);  // warm the workspace
+    tt.solve_s =
+        min_time_seconds([&] { ilu_apply(f, r, z, ws); }, cfg.reps, 1);
+
+    const RowPartition part = RowPartition::build(a, t);
+    std::vector<value_t> y(r.size());
+    tt.spmv_s =
+        min_time_seconds([&] { spmv(a, part, r, y); }, cfg.reps, 1);
+
+    if (ti == 0) {
+      SolverOptions sopts;
+      sopts.max_iterations = 400;
+      sopts.tolerance = 1e-8;
+      IluPreconditioner m(std::move(f));
+      std::vector<value_t> x(r.size(), 0);
+      const SolverResult res = e.paper_sym_pattern
+                                   ? pcg(a, r, x, m.fn(), sopts)
+                                   : gmres(a, r, x, m.fn(), sopts);
+      rep.pcg_iterations = res.converged ? res.iterations : -res.iterations;
+    }
+
+    rep.timings.push_back(tt);
+    std::printf(
+        "  %-18s t=%d  factor %.4fs  refactor %.4fs  scatter map/searched "
+        "%.5f/%.5fs  solve %.5fs  spmv %.5fs\n",
+        e.name.c_str(), t, tt.factor_s, tt.refactor_s, tt.scatter_map_s,
+        tt.scatter_searched_s, tt.solve_s, tt.spmv_s);
+  }
+  return rep;
+}
+
+void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
+  std::ofstream os(cfg.out);
+  os << "{\n  \"suite_scale\": " << cfg.scale
+     << ",\n  \"fill_level\": " << cfg.fill << ",\n  \"reps\": " << cfg.reps
+     << ",\n  \"threads\": [";
+  for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
+    os << (i ? ", " : "") << cfg.threads[i];
+  }
+  os << "],\n  \"results\": [\n";
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const MatrixReport& r = reps[i];
+    os << "    {\"matrix\": \"" << r.name << "\", \"n\": " << r.n
+       << ", \"nnz\": " << r.nnz << ", \"levels\": " << r.levels
+       << ", \"rows_moved\": " << r.rows_moved << ", \"method\": \""
+       << r.method << "\", \"krylov_iterations\": " << r.pcg_iterations
+       << ",\n     \"timings\": [\n";
+    for (std::size_t j = 0; j < r.timings.size(); ++j) {
+      const ThreadTimings& t = r.timings[j];
+      os << "       {\"threads\": " << t.threads << ", \"factor_s\": "
+         << t.factor_s << ", \"refactor_s\": " << t.refactor_s
+         << ", \"scatter_map_s\": " << t.scatter_map_s
+         << ", \"scatter_searched_s\": " << t.scatter_searched_s
+         << ", \"solve_s\": " << t.solve_s << ", \"spmv_s\": " << t.spmv_s
+         << "}" << (j + 1 < r.timings.size() ? "," : "") << "\n";
+    }
+    os << "     ]}" << (i + 1 < reps.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = parse_args(argc, argv);
+
+  gen::SuiteOptions sopts;
+  sopts.scale = cfg.scale;
+  const std::vector<std::string> names =
+      cfg.matrices.empty() ? gen::suite_names() : cfg.matrices;
+
+  std::printf("javelin bench: scale=%.3g fill=%d reps=%d\n", cfg.scale,
+              cfg.fill, cfg.reps);
+  std::vector<MatrixReport> reports;
+  for (const std::string& name : names) {
+    try {
+      gen::SuiteEntry e = gen::make_suite_matrix(name, sopts);
+      std::printf("%s (n=%d, nnz=%d)\n", name.c_str(), e.matrix.rows(),
+                  e.matrix.nnz());
+      reports.push_back(bench_matrix(e, cfg));
+    } catch (const Error& err) {
+      std::printf("%s SKIPPED: %s\n", name.c_str(), err.what());
+    }
+  }
+  write_json(cfg, reports);
+  std::printf("wrote %s\n", cfg.out.c_str());
+  return 0;
+}

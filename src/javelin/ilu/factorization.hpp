@@ -28,11 +28,27 @@ struct SrTile {
 /// Tiles grouped by upper level: tiles for level l are
 /// tiles[tile_ptr[l] .. tile_ptr[l+1]). Tasks within a level are
 /// independent; levels are separated by a taskwait (paper Fig. 6).
+///
+/// Tiles are additionally coalesced into TASKS of ~tile_nnz nonzeros: task t
+/// spans tiles [task_tile_ptr[t], task_tile_ptr[t+1]), and level l owns
+/// tasks [level_task_ptr[l], level_task_ptr[l+1]). Grouping adjacent small
+/// same-level segments keeps per-task OpenMP overhead bounded on matrices
+/// with many tiny row-level segments (the overhead profile measured with
+/// VTune in paper §V) while every tile stays row-owned and race-free.
 struct SrTiling {
   std::vector<index_t> tile_ptr;
   std::vector<SrTile> tiles;
+  /// Task boundaries as tile indices; size = num_tasks + 1.
+  std::vector<index_t> task_tile_ptr;
+  /// Per-level task ranges; size = num_levels + 1.
+  std::vector<index_t> level_task_ptr;
   /// Levels that actually own tiles (others are skipped at run time).
   index_t active_levels = 0;
+
+  index_t num_tasks() const noexcept {
+    return task_tile_ptr.empty() ? 0
+                                 : static_cast<index_t>(task_tile_ptr.size()) - 1;
+  }
 };
 
 struct Factorization {
@@ -54,6 +70,14 @@ struct Factorization {
   /// Level sets of the corner block (only when opts.parallel_corner).
   LevelSets corner_levels;
 
+  /// Persistent refactor scatter map: a_scatter[k] is the position in
+  /// lu.values() receiving the k-th nonzero of the (unpermuted) input
+  /// matrix, or kInvalidIndex when that entry fell outside the factor
+  /// pattern. Built once at factor time; turns every subsequent
+  /// scatter_values into a flat O(nnz) copy with no permutation inversion
+  /// and no per-nonzero binary search.
+  std::vector<index_t> a_scatter;
+
   index_t n() const noexcept { return lu.rows(); }
 };
 
@@ -74,9 +98,20 @@ void ilu_refactor(Factorization& f, const CsrMatrix& a);
 void ilu_factor_numeric(Factorization& f);
 
 /// Scatter values of (unpermuted) `a` onto the permuted factor pattern.
+/// Uses (and lazily builds) the persistent f.a_scatter map.
 void scatter_values(Factorization& f, const CsrMatrix& a);
 
-/// Build tiles for the SR lower stage from the permuted factor.
+/// Build f.a_scatter for `a` (which must share the factored matrix's
+/// pattern). Called by ilu_factor; exposed for tests and benches.
+void build_scatter_map(Factorization& f, const CsrMatrix& a);
+
+/// The pre-scatter-map algorithm (per-call permutation inversion plus a
+/// binary search per nonzero), kept as the benchmark baseline the persistent
+/// map is measured against.
+void scatter_values_searched(Factorization& f, const CsrMatrix& a);
+
+/// Build tiles for the SR lower stage from the permuted factor, coalescing
+/// adjacent same-level tiles into tasks of up to tile_nnz nonzeros.
 SrTiling build_sr_tiling(const CsrMatrix& lu, const TwoStagePlan& plan,
                          index_t tile_nnz);
 

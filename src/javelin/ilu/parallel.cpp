@@ -109,18 +109,23 @@ void lower_segmented_rows(Factorization& f, WorkspacePool& pool) {
 #pragma omp parallel num_threads(plan.threads)
 #pragma omp single
   {
-    for (std::size_t l = 0; l + 1 < sr.tile_ptr.size(); ++l) {
-      const index_t tb = sr.tile_ptr[l];
-      const index_t te = sr.tile_ptr[l + 1];
-      if (tb == te) continue;
-      for (index_t ti = tb; ti < te; ++ti) {
-#pragma omp task firstprivate(ti) shared(sr, fv, pool, params)
+    for (std::size_t l = 0; l + 1 < sr.level_task_ptr.size(); ++l) {
+      const index_t kb = sr.level_task_ptr[l];
+      const index_t ke = sr.level_task_ptr[l + 1];
+      if (kb == ke) continue;
+      for (index_t k = kb; k < ke; ++k) {
+        // One task per coalesced tile group (~tile_nnz nonzeros of work).
+#pragma omp task firstprivate(k) shared(sr, fv, pool, params)
         {
-          const SrTile& tile = sr.tiles[static_cast<std::size_t>(ti)];
+          const index_t tb = sr.task_tile_ptr[static_cast<std::size_t>(k)];
+          const index_t te = sr.task_tile_ptr[static_cast<std::size_t>(k) + 1];
           RowWorkspace& ws = pool.get(thread_id());
-          mark_row(fv, tile.row, ws);
-          eliminate_nz_range(fv, tile.row, tile.nz_begin, tile.nz_end, ws,
-                             params);
+          for (index_t ti = tb; ti < te; ++ti) {
+            const SrTile& tile = sr.tiles[static_cast<std::size_t>(ti)];
+            mark_row(fv, tile.row, ws);
+            eliminate_nz_range(fv, tile.row, tile.nz_begin, tile.nz_end, ws,
+                               params);
+          }
         }
       }
 #pragma omp taskwait
@@ -160,13 +165,7 @@ SrTiling build_sr_tiling(const CsrMatrix& lu, const TwoStagePlan& plan,
     }
   }
   // Emit tiles level-major. A tile is one row-level segment; a segment never
-  // splits across tiles (updates stay row-owned and race-free), and the
-  // tile_nnz knob only caps how much *work* a single task carries — segments
-  // below it would ideally coalesce across rows, but cross-row coalescing
-  // needs contiguous storage, so we instead rely on OpenMP's task queue to
-  // batch small tasks (matching the overhead profile the paper measured with
-  // VTune in §V).
-  (void)tile_nnz;
+  // splits across tiles (updates stay row-owned and race-free).
   for (index_t l = 0; l < nlev; ++l) {
     auto& segs = by_level[static_cast<std::size_t>(l)];
     for (const SrTile& t : segs) sr.tiles.push_back(t);
@@ -179,10 +178,37 @@ SrTiling build_sr_tiling(const CsrMatrix& lu, const TwoStagePlan& plan,
       ++sr.active_levels;
     }
   }
+  // Coalesce adjacent small same-level tiles into tasks of up to tile_nnz
+  // nonzeros: one OpenMP task then amortizes its spawn/steal overhead over
+  // several tiny segments (the dominant cost the paper measured with VTune
+  // in §V on many-small-level matrices). A task never crosses a level
+  // boundary, and a tile larger than tile_nnz still forms its own task.
+  const index_t cap = std::max<index_t>(1, tile_nnz);
+  sr.level_task_ptr.assign(static_cast<std::size_t>(nlev) + 1, 0);
+  sr.task_tile_ptr.push_back(0);
+  for (index_t l = 0; l < nlev; ++l) {
+    index_t t = sr.tile_ptr[static_cast<std::size_t>(l)];
+    const index_t te = sr.tile_ptr[static_cast<std::size_t>(l) + 1];
+    while (t < te) {
+      const auto tile_size = [&](index_t i) {
+        const SrTile& tl = sr.tiles[static_cast<std::size_t>(i)];
+        return tl.nz_end - tl.nz_begin;
+      };
+      index_t acc = tile_size(t);
+      index_t t2 = t + 1;
+      // Never grow past cap by merging: an oversized tile always stands
+      // alone, and a near-full task does not absorb a large neighbour.
+      while (t2 < te && acc + tile_size(t2) <= cap) acc += tile_size(t2++);
+      sr.task_tile_ptr.push_back(t2);
+      t = t2;
+    }
+    sr.level_task_ptr[static_cast<std::size_t>(l) + 1] =
+        static_cast<index_t>(sr.task_tile_ptr.size()) - 1;
+  }
   return sr;
 }
 
-void scatter_values(Factorization& f, const CsrMatrix& a) {
+void scatter_values_searched(Factorization& f, const CsrMatrix& a) {
   // Values travel: a (preordered) -> symbolic pattern -> plan permutation.
   // The factor rows are plan.perm[r] of the symbolic pattern, whose columns
   // map through the inverse permutation; we reuse the stored column indices
@@ -204,6 +230,71 @@ void scatter_values(Factorization& f, const CsrMatrix& a) {
       if (it != cols.end() && *it == new_c) {
         vals[static_cast<std::size_t>(it - cols.begin())] =
             a.values()[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+}
+
+void build_scatter_map(Factorization& f, const CsrMatrix& a) {
+  // Same index chase as scatter_values_searched, performed ONCE: record
+  // where each a-nonzero lands. Walking a's rows in permuted order touches
+  // every original row exactly once, so writes to a_scatter never race.
+  const index_t n = f.n();
+  const auto& perm = f.plan.perm;
+  const std::vector<index_t> inv = invert_permutation(perm);
+  f.a_scatter.assign(static_cast<std::size_t>(a.nnz()), kInvalidIndex);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t r = 0; r < n; ++r) {
+    const index_t old_r = perm[static_cast<std::size_t>(r)];
+    auto cols = f.lu.row_cols(r);
+    const index_t base = f.lu.row_begin(r);
+    for (index_t k = a.row_begin(old_r); k < a.row_end(old_r); ++k) {
+      const index_t new_c =
+          inv[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])];
+      const auto it = std::lower_bound(cols.begin(), cols.end(), new_c);
+      if (it != cols.end() && *it == new_c) {
+        f.a_scatter[static_cast<std::size_t>(k)] =
+            base + static_cast<index_t>(it - cols.begin());
+      }
+    }
+  }
+}
+
+void scatter_values(Factorization& f, const CsrMatrix& a) {
+  if (f.a_scatter.size() != static_cast<std::size_t>(a.nnz())) {
+    build_scatter_map(f, a);
+  }
+#ifndef NDEBUG
+  // The nnz test above cannot see a pattern change with equal nnz (the
+  // documented ilu_refactor precondition). Debug builds re-derive the map
+  // and compare, catching a mismatched matrix before it corrupts the factor.
+  {
+    std::vector<index_t> saved = std::move(f.a_scatter);
+    build_scatter_map(f, a);
+    JAVELIN_CHECK(saved == f.a_scatter,
+                  "scatter_values: matrix pattern differs from the factored "
+                  "pattern the scatter map was built for");
+  }
+#endif
+  // Flat O(nnz) refresh: zero everything (fill positions), then copy each
+  // a-nonzero straight to its precomputed slot. Distinct slots — race-free.
+  auto lv = f.lu.values_mut();
+  const auto av = a.values();
+  const auto& map = f.a_scatter;
+  const std::ptrdiff_t lu_nnz = static_cast<std::ptrdiff_t>(lv.size());
+  const std::ptrdiff_t a_nnz = static_cast<std::ptrdiff_t>(av.size());
+#pragma omp parallel
+  {
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t k = 0; k < lu_nnz; ++k) {
+      lv[static_cast<std::size_t>(k)] = 0;
+    }
+    // (implicit barrier: all zeroing precedes all scattering)
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t k = 0; k < a_nnz; ++k) {
+      const index_t p = map[static_cast<std::size_t>(k)];
+      if (p != kInvalidIndex) {
+        lv[static_cast<std::size_t>(p)] = av[static_cast<std::size_t>(k)];
       }
     }
   }
@@ -252,6 +343,8 @@ Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
   f.plan = build_two_stage_plan(s, opts);
   f.lu = permute_symmetric(s, f.plan.perm);
   f.diag_pos = diagonal_positions(f.lu);
+  // Plan-time scatter map: every ilu_refactor becomes a flat O(nnz) copy.
+  build_scatter_map(f, a);
 
   f.fwd = build_upper_forward_schedule(f.lu, f.plan.upper_level_ptr,
                                        f.plan.threads);

@@ -1,0 +1,74 @@
+// Scalable sparse triangular solve (stri) — the apply path the whole
+// factorization is co-designed for (paper §VI: "the incomplete factorization
+// may only be formed once, but stri may be called thousands of times").
+//
+// The forward (L) sweep reuses the SAME point-to-point schedule as the
+// upper-stage factorization (f.fwd): the dependency pattern of the forward
+// solve is exactly the strictly-lower pattern of the factor, so the
+// spin-wait sparsification built for the numeric phase is reused verbatim.
+// Lower-stage rows are swept ER-style: their upper-column partial sums are
+// embarrassingly parallel, and only the small corner coupling runs in row
+// order. The backward (U) sweep runs under f.bwd, with the diagonal scale
+// fused into the sweep — no separate D^{-1} pass over the vector.
+//
+// All parallel sweeps are bitwise-identical to the serial reference: every
+// row's accumulation walks its CSR entries in the same ascending order, and
+// each vector slot has exactly one writer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "javelin/ilu/factorization.hpp"
+
+namespace javelin {
+
+/// Reusable scratch for repeated ilu_apply calls (permuted rhs/solution and
+/// the lower-stage partial sums). Kept outside the Factorization so multiple
+/// solves may share one immutable factor with private workspaces.
+struct SolveWorkspace {
+  std::vector<value_t> x;          ///< permuted vector being solved in place
+  std::vector<value_t> lower_acc;  ///< partial sums of the lower-stage rows
+
+  void resize(index_t n, index_t n_lower) {
+    x.resize(static_cast<std::size_t>(n));
+    lower_acc.resize(static_cast<std::size_t>(n_lower));
+  }
+};
+
+/// Serial reference: x = U^{-1} L^{-1} b on the permuted factor. `b` and `x`
+/// are in the factor's (permuted) row ordering; x may alias b.
+void trsv_serial(const CsrMatrix& lu, std::span<const index_t> diag_pos,
+                 std::span<const value_t> b, std::span<value_t> x);
+
+/// In-place P2P forward sweep on the permuted factor: on entry x is the
+/// permuted rhs, on exit L x' = x (unit diagonal implicit). Upper-stage rows
+/// run under f.fwd; lower-stage rows run as a parallel partial-sum pass plus
+/// an ordered corner sweep (ws.lower_acc is the scratch).
+void trsv_forward(const Factorization& f, std::span<value_t> x,
+                  SolveWorkspace& ws);
+
+/// In-place P2P backward sweep: x := U^{-1} x, diagonal divide fused.
+void trsv_backward(const Factorization& f, std::span<value_t> x);
+
+/// Serial in-place variants (reference paths for tests and fallback).
+void trsv_forward_serial(const Factorization& f, std::span<value_t> x);
+void trsv_backward_serial(const Factorization& f, std::span<value_t> x);
+
+/// Preconditioner application z = (L U)^{-1} r with r and z in the ORIGINAL
+/// row ordering (the plan permutation is applied on the way in and undone on
+/// the way out, so callers never see the level ordering). r and z must not
+/// alias. Thread-safe across distinct workspaces.
+void ilu_apply(const Factorization& f, std::span<const value_t> r,
+               std::span<value_t> z, SolveWorkspace& ws);
+
+/// Convenience overload with a per-call workspace (allocates; prefer the
+/// workspace overload in iterative loops).
+void ilu_apply(const Factorization& f, std::span<const value_t> r,
+               std::span<value_t> z);
+
+/// Serial-reference ilu_apply used by the property tests.
+void ilu_apply_serial(const Factorization& f, std::span<const value_t> r,
+                      std::span<value_t> z, SolveWorkspace& ws);
+
+}  // namespace javelin

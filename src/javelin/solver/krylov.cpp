@@ -1,0 +1,182 @@
+#include "javelin/solver/krylov.hpp"
+
+#include <cmath>
+
+namespace javelin {
+
+PrecondFn identity_preconditioner() {
+  return [](std::span<const value_t> r, std::span<value_t> z) { copy(r, z); };
+}
+
+SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
+                 std::span<value_t> x, const PrecondFn& precond,
+                 const SolverOptions& opts) {
+  JAVELIN_CHECK(a.square(), "pcg requires a square matrix");
+  const index_t n = a.rows();
+  const std::size_t un = static_cast<std::size_t>(n);
+  const RowPartition part = RowPartition::build(a);
+
+  std::vector<value_t> r(un), z(un), p(un), q(un);
+  SolverResult res;
+
+  const value_t bnorm = norm2(b.subspan(0, un));
+  if (bnorm == 0) {
+    fill(x.subspan(0, un), 0);
+    res.converged = true;
+    return res;
+  }
+
+  // r = b - A x
+  spmv(a, part, x, r);
+  for (std::size_t i = 0; i < un; ++i) r[i] = b[i] - r[i];
+  res.relative_residual = norm2(r) / bnorm;
+  if (res.relative_residual <= opts.tolerance) {
+    res.converged = true;  // warm start already solves the system
+    return res;
+  }
+
+  precond(r, z);
+  copy(std::span<const value_t>(z), std::span<value_t>(p));
+  value_t rz = dot(r, z);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    spmv(a, part, p, q);
+    const value_t pq = dot(p, q);
+    if (pq == 0) break;  // breakdown (non-SPD input)
+    const value_t alpha = rz / pq;
+    axpy(alpha, p, x.subspan(0, un));
+    axpy(-alpha, q, r);
+    res.iterations = it + 1;
+    const value_t rnorm = norm2(r);
+    res.relative_residual = rnorm / bnorm;
+    if (res.relative_residual <= opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    precond(r, z);
+    const value_t rz_next = dot(r, z);
+    const value_t beta = rz_next / rz;
+    rz = rz_next;
+    // p = z + beta p
+    xpby(std::span<const value_t>(z), beta, std::span<value_t>(p));
+  }
+  return res;
+}
+
+SolverResult gmres(const CsrMatrix& a, std::span<const value_t> b,
+                   std::span<value_t> x, const PrecondFn& precond,
+                   const SolverOptions& opts) {
+  JAVELIN_CHECK(a.square(), "gmres requires a square matrix");
+  const index_t n = a.rows();
+  const std::size_t un = static_cast<std::size_t>(n);
+  const int m = std::max(1, opts.restart);
+  const RowPartition part = RowPartition::build(a);
+
+  SolverResult res;
+  const value_t bnorm = norm2(b.subspan(0, un));
+  if (bnorm == 0) {
+    fill(x.subspan(0, un), 0);
+    res.converged = true;
+    return res;
+  }
+
+  // Krylov basis and the Hessenberg least-squares state (Givens rotations).
+  std::vector<std::vector<value_t>> v(static_cast<std::size_t>(m) + 1,
+                                      std::vector<value_t>(un));
+  std::vector<std::vector<value_t>> h(static_cast<std::size_t>(m) + 1,
+                                      std::vector<value_t>(static_cast<std::size_t>(m), 0));
+  std::vector<value_t> cs(static_cast<std::size_t>(m), 0);
+  std::vector<value_t> sn(static_cast<std::size_t>(m), 0);
+  std::vector<value_t> g(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<value_t> w(un), z(un), y(static_cast<std::size_t>(m));
+
+  while (res.iterations < opts.max_iterations) {
+    // r0 = b - A x (true residual: right preconditioning keeps it exact).
+    spmv(a, part, x, w);
+    for (std::size_t i = 0; i < un; ++i) w[i] = b[i] - w[i];
+    const value_t beta = norm2(w);
+    res.relative_residual = beta / bnorm;
+    if (res.relative_residual <= opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < un; ++i) v[0][i] = w[i] / beta;
+    std::fill(g.begin(), g.end(), value_t{0});
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && res.iterations < opts.max_iterations; ++j) {
+      const std::size_t uj = static_cast<std::size_t>(j);
+      // w = A M^{-1} v_j
+      precond(v[uj], z);
+      spmv(a, part, z, w);
+      ++res.iterations;
+      // Modified Gram–Schmidt.
+      for (int i = 0; i <= j; ++i) {
+        const value_t hij = dot(v[static_cast<std::size_t>(i)], w);
+        h[static_cast<std::size_t>(i)][uj] = hij;
+        axpy(-hij, v[static_cast<std::size_t>(i)], w);
+      }
+      const value_t hnext = norm2(w);
+      h[uj + 1][uj] = hnext;
+      if (hnext != 0) {
+        for (std::size_t i = 0; i < un; ++i) v[uj + 1][i] = w[i] / hnext;
+      }
+      // Apply the accumulated rotations, then form the new one.
+      for (int i = 0; i < j; ++i) {
+        const std::size_t ui = static_cast<std::size_t>(i);
+        const value_t t = cs[ui] * h[ui][uj] + sn[ui] * h[ui + 1][uj];
+        h[ui + 1][uj] = -sn[ui] * h[ui][uj] + cs[ui] * h[ui + 1][uj];
+        h[ui][uj] = t;
+      }
+      const value_t denom = std::hypot(h[uj][uj], h[uj + 1][uj]);
+      if (denom == 0) {
+        // Exact breakdown: column j is identically zero, so the solution
+        // lies in the span of the previous columns — discard column j (its
+        // diagonal is 0 and must not reach the back-substitution).
+        break;
+      }
+      cs[uj] = h[uj][uj] / denom;
+      sn[uj] = h[uj + 1][uj] / denom;
+      h[uj][uj] = denom;
+      h[uj + 1][uj] = 0;
+      g[uj + 1] = -sn[uj] * g[uj];
+      g[uj] = cs[uj] * g[uj];
+      res.relative_residual = std::abs(g[uj + 1]) / bnorm;
+      if (res.relative_residual <= opts.tolerance) {
+        ++j;
+        break;
+      }
+    }
+
+    // Back-substitute y from the triangularized Hessenberg system.
+    for (int i = j - 1; i >= 0; --i) {
+      const std::size_t ui = static_cast<std::size_t>(i);
+      value_t s = g[ui];
+      for (int k = i + 1; k < j; ++k) {
+        s -= h[ui][static_cast<std::size_t>(k)] * y[static_cast<std::size_t>(k)];
+      }
+      y[ui] = s / h[ui][ui];
+    }
+    // u = V y; x += M^{-1} u.
+    fill(std::span<value_t>(w), 0);
+    for (int i = 0; i < j; ++i) {
+      axpy(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)],
+           std::span<value_t>(w));
+    }
+    precond(w, z);
+    axpy(1.0, z, x.subspan(0, un));
+    // Loop back: the restart head recomputes the TRUE residual b - A x and
+    // is the sole convergence arbiter — the rotation-recurrence estimate
+    // can drift optimistic over many restarts, so it only steers when to
+    // restart, never when to stop.
+  }
+  // Iteration budget exhausted; report the true residual.
+  spmv(a, part, x, w);
+  for (std::size_t i = 0; i < un; ++i) w[i] = b[i] - w[i];
+  res.relative_residual = norm2(w) / bnorm;
+  res.converged = res.relative_residual <= opts.tolerance;
+  return res;
+}
+
+}  // namespace javelin

@@ -5,7 +5,60 @@
 #include <cassert>
 #include <cmath>
 
+#include "javelin/support/parallel.hpp"
+
 namespace javelin {
+
+namespace {
+
+/// Row index at which chunk `part` of `parts` begins when splitting by
+/// nonzero count: the first row whose nonzeros start at or after the chunk's
+/// nnz target. Row-aligned, monotone in `part`, and covers [0, rows].
+index_t nnz_split_row(const CsrMatrix& a, int parts, int part) {
+  if (part <= 0) return 0;
+  if (part >= parts) return a.rows();
+  const index_t target = partition_range(a.nnz(), parts, part).begin;
+  const auto rp = a.row_ptr();
+  const auto it = std::lower_bound(rp.begin(), rp.end(), target);
+  return static_cast<index_t>(it - rp.begin());
+}
+
+template <class RowOp>
+void for_rows_balanced(const CsrMatrix& a, const RowOp& op) {
+#pragma omp parallel
+  {
+    const int parts = team_size();
+    const index_t lo = nnz_split_row(a, parts, thread_id());
+    const index_t hi = nnz_split_row(a, parts, thread_id() + 1);
+    for (index_t r = lo; r < hi; ++r) op(r);
+  }
+}
+
+template <class RowOp>
+void for_rows_partitioned(const CsrMatrix& a, const RowPartition& part,
+                          const RowOp& op) {
+  // schedule(static, 1) so a team smaller than the partition still covers
+  // every chunk (contiguous chunks stay with one thread when sizes match).
+  (void)a;
+#pragma omp parallel for schedule(static, 1)
+  for (int p = 0; p < part.parts(); ++p) {
+    const index_t lo = part.bounds[static_cast<std::size_t>(p)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(p) + 1];
+    for (index_t r = lo; r < hi; ++r) op(r);
+  }
+}
+
+}  // namespace
+
+RowPartition RowPartition::build(const CsrMatrix& a, int parts) {
+  if (parts <= 0) parts = max_threads();
+  RowPartition p;
+  p.bounds.resize(static_cast<std::size_t>(parts) + 1);
+  for (int t = 0; t <= parts; ++t) {
+    p.bounds[static_cast<std::size_t>(t)] = nnz_split_row(a, parts, t);
+  }
+  return p;
+}
 
 void spmv_serial(const CsrMatrix& a, std::span<const value_t> x,
                  std::span<value_t> y) {
@@ -27,28 +80,54 @@ void spmv(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) 
   assert(y.size() >= static_cast<std::size_t>(a.rows()));
   const auto ci = a.col_idx();
   const auto vv = a.values();
-#pragma omp parallel for schedule(dynamic, 64)
-  for (index_t r = 0; r < a.rows(); ++r) {
+  for_rows_balanced(a, [&](index_t r) {
     value_t acc = 0;
     for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
       acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
     }
     y[static_cast<std::size_t>(r)] = acc;
-  }
+  });
+}
+
+void spmv(const CsrMatrix& a, const RowPartition& part,
+          std::span<const value_t> x, std::span<value_t> y) {
+  assert(x.size() >= static_cast<std::size_t>(a.cols()));
+  assert(y.size() >= static_cast<std::size_t>(a.rows()));
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+  for_rows_partitioned(a, part, [&](index_t r) {
+    value_t acc = 0;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  });
 }
 
 void spmv_axpby(const CsrMatrix& a, value_t alpha, std::span<const value_t> x,
                 value_t beta, std::span<value_t> y) {
   const auto ci = a.col_idx();
   const auto vv = a.values();
-#pragma omp parallel for schedule(dynamic, 64)
-  for (index_t r = 0; r < a.rows(); ++r) {
+  for_rows_balanced(a, [&](index_t r) {
     value_t acc = 0;
     for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
       acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
     }
     y[static_cast<std::size_t>(r)] = alpha * acc + beta * y[static_cast<std::size_t>(r)];
-  }
+  });
+}
+
+void spmv_axpby(const CsrMatrix& a, const RowPartition& part, value_t alpha,
+                std::span<const value_t> x, value_t beta, std::span<value_t> y) {
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+  for_rows_partitioned(a, part, [&](index_t r) {
+    value_t acc = 0;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = alpha * acc + beta * y[static_cast<std::size_t>(r)];
+  });
 }
 
 SegmentedTiles SegmentedTiles::build(const CsrMatrix& a, index_t tile_size) {

@@ -16,16 +16,41 @@
 
 namespace javelin {
 
+/// Nonzero-balanced static row partition: chunk p owns rows
+/// [bounds[p], bounds[p+1]), chosen so every chunk covers ~nnz/parts
+/// nonzeros (row-aligned). Precompute once and reuse across the thousands of
+/// spmv calls of an iterative solve — replaces dynamic scheduling, whose
+/// per-chunk dequeue overhead dominates on skewed suites like
+/// TSOPF_RS_b300_c2.
+struct RowPartition {
+  std::vector<index_t> bounds;  ///< size parts+1, bounds.front()==0, back()==rows
+
+  int parts() const noexcept { return static_cast<int>(bounds.size()) - 1; }
+
+  /// Build for `parts` chunks (<= 0 means the current OpenMP thread count).
+  static RowPartition build(const CsrMatrix& a, int parts = 0);
+};
+
 /// y = A x (serial reference).
 void spmv_serial(const CsrMatrix& a, std::span<const value_t> x,
                  std::span<value_t> y);
 
-/// y = A x, OpenMP parallel over rows.
+/// y = A x, OpenMP parallel over rows; each thread takes a row range
+/// balanced by nonzero count (computed on the fly, two binary searches per
+/// thread).
 void spmv(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y);
 
-/// y = alpha * A x + beta * y, OpenMP parallel over rows.
+/// y = A x over a precomputed partition (the solver hot path).
+void spmv(const CsrMatrix& a, const RowPartition& part,
+          std::span<const value_t> x, std::span<value_t> y);
+
+/// y = alpha * A x + beta * y, OpenMP parallel over rows (nnz-balanced).
 void spmv_axpby(const CsrMatrix& a, value_t alpha, std::span<const value_t> x,
                 value_t beta, std::span<value_t> y);
+
+/// y = alpha * A x + beta * y over a precomputed partition.
+void spmv_axpby(const CsrMatrix& a, const RowPartition& part, value_t alpha,
+                std::span<const value_t> x, value_t beta, std::span<value_t> y);
 
 /// Precomputed tile decomposition for the segmented-scan spmv. Tiles are
 /// fixed-length runs of nonzeros (last tile ragged); each records the first

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -42,6 +43,9 @@ struct alignas(kCacheLine) PaddedCounter {
 };
 static_assert(sizeof(PaddedCounter) == kCacheLine);
 
+/// Spin iterations between yields in wait_for (~1 µs of pause-spinning).
+inline constexpr int kSpinsBeforeYield = 1024;
+
 /// Per-thread monotone progress counters with acquire/release publication.
 ///
 /// Thread t executes its scheduled items in a fixed order; after finishing
@@ -55,7 +59,8 @@ class ProgressCounters {
   explicit ProgressCounters(int num_threads) { reset(num_threads); }
 
   void reset(int num_threads) {
-    counters_.assign(static_cast<std::size_t>(num_threads), PaddedCounter{});
+    // Atomics are not copyable; construct the counters in place.
+    counters_ = std::vector<PaddedCounter>(static_cast<std::size_t>(num_threads));
   }
 
   /// Reset all counters to zero without reallocating (start of a new sweep).
@@ -79,10 +84,21 @@ class ProgressCounters {
         std::memory_order_acquire);
   }
 
-  /// Spin until thread `t` has published at least `count` items.
+  /// Spin until thread `t` has published at least `count` items. Pure
+  /// pause-spin while the producer is likely running; after a bounded number
+  /// of misses, yield the core so an oversubscribed producer (more threads
+  /// than cores) can be scheduled instead of starving behind the spinner.
   void wait_for(int t, index_t count) const noexcept {
     const auto& c = counters_[static_cast<std::size_t>(t)].value;
-    while (c.load(std::memory_order_acquire) < count) cpu_pause();
+    int spins = 0;
+    while (c.load(std::memory_order_acquire) < count) {
+      if (++spins < kSpinsBeforeYield) {
+        cpu_pause();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
   }
 
  private:

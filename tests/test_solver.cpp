@@ -1,0 +1,143 @@
+// End-to-end Krylov convergence on suite-class matrices: PCG on SPD, right-
+// preconditioned GMRES(m) on unsymmetric, both with and without the Javelin
+// ILU preconditioner. Residuals are re-verified from scratch — the solver's
+// own bookkeeping is not trusted.
+#include <random>
+
+#include "javelin/gen/generators.hpp"
+#include "javelin/solver/krylov.hpp"
+#include "javelin/support/parallel.hpp"
+#include "test_util.hpp"
+
+using namespace javelin;
+
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+double true_relative_residual(const CsrMatrix& a, std::span<const value_t> b,
+                              std::span<const value_t> x) {
+  std::vector<value_t> r(b.size());
+  spmv_serial(a, x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  return norm2(r) / norm2(b);
+}
+
+}  // namespace
+
+int main() {
+  ThreadCountGuard guard(2);
+  SolverOptions sopts;
+  sopts.max_iterations = 1200;
+  sopts.tolerance = 1e-9;
+
+  // --- PCG on SPD ----------------------------------------------------------
+  {
+    CsrMatrix a = gen::laplacian2d(40, 40, 5);
+    const auto b = random_vector(a.rows(), 0x11);
+
+    IluOptions iopts;
+    iopts.num_threads = 2;
+    IluPreconditioner m(a, iopts);
+
+    std::vector<value_t> x(b.size(), 0);
+    const SolverResult plain = pcg(a, b, x, identity_preconditioner(), sopts);
+    CHECK_MSG(plain.converged, "plain CG rel res %.3g after %d iters",
+              plain.relative_residual, plain.iterations);
+    CHECK(true_relative_residual(a, b, x) < 1e-7);
+
+    std::fill(x.begin(), x.end(), 0);
+    const SolverResult pre = pcg(a, b, x, m.fn(), sopts);
+    CHECK_MSG(pre.converged, "ILU-PCG rel res %.3g after %d iters",
+              pre.relative_residual, pre.iterations);
+    CHECK(true_relative_residual(a, b, x) < 1e-7);
+    CHECK_MSG(pre.iterations < plain.iterations,
+              "ILU-PCG %d iters vs plain %d", pre.iterations,
+              plain.iterations);
+  }
+
+  // --- GMRES(m) on an unsymmetric circuit matrix ---------------------------
+  {
+    CsrMatrix a = gen::circuit(1500, 6.0, 0x77, /*symmetric_pattern=*/false, 10);
+    const auto b = random_vector(a.rows(), 0x22);
+
+    IluOptions iopts;
+    iopts.num_threads = 2;
+    IluPreconditioner m(a, iopts);
+
+    std::vector<value_t> x(b.size(), 0);
+    const SolverResult pre = gmres(a, b, x, m.fn(), sopts);
+    CHECK_MSG(pre.converged, "ILU-GMRES rel res %.3g after %d iters",
+              pre.relative_residual, pre.iterations);
+    CHECK(true_relative_residual(a, b, x) < 1e-7);
+
+    std::fill(x.begin(), x.end(), 0);
+    const SolverResult plain =
+        gmres(a, b, x, identity_preconditioner(), sopts);
+    if (plain.converged) {
+      CHECK_MSG(pre.iterations <= plain.iterations,
+                "ILU-GMRES %d iters vs plain %d", pre.iterations,
+                plain.iterations);
+    }
+  }
+
+  // --- GMRES on a power-system matrix (dense rows, unsym pattern) ----------
+  {
+    CsrMatrix a = gen::power_system(1200, 24, 70, 0x33);
+    const auto b = random_vector(a.rows(), 0x44);
+    IluOptions iopts;
+    iopts.num_threads = 2;
+    IluPreconditioner m(a, iopts);
+    std::vector<value_t> x(b.size(), 0);
+    const SolverResult res = gmres(a, b, x, m.fn(), sopts);
+    CHECK_MSG(res.converged, "power ILU-GMRES rel res %.3g after %d iters",
+              res.relative_residual, res.iterations);
+    CHECK(true_relative_residual(a, b, x) < 1e-7);
+  }
+
+  // --- warm start: an already-solved system must report convergence --------
+  {
+    CsrMatrix a = gen::laplacian2d(25, 25, 5);
+    const auto b = random_vector(a.rows(), 0x66);
+    std::vector<value_t> x(b.size(), 0);
+    CHECK(pcg(a, b, x, identity_preconditioner(), sopts).converged);
+    const SolverResult warm = pcg(a, b, x, identity_preconditioner(), sopts);
+    CHECK_MSG(warm.converged && warm.iterations == 0,
+              "warm PCG converged=%d iters=%d", warm.converged,
+              warm.iterations);
+    const SolverResult warm_g =
+        gmres(a, b, x, identity_preconditioner(), sopts);
+    CHECK_MSG(warm_g.converged && warm_g.iterations == 0,
+              "warm GMRES converged=%d iters=%d", warm_g.converged,
+              warm_g.iterations);
+  }
+
+  // --- refactor-then-resolve (the time-stepping loop) ----------------------
+  {
+    CsrMatrix a = gen::laplacian2d(30, 30, 5);
+    IluOptions iopts;
+    iopts.num_threads = 2;
+    IluPreconditioner m(a, iopts);
+    const auto b = random_vector(a.rows(), 0x55);
+    std::vector<value_t> x(b.size(), 0);
+    CHECK(pcg(a, b, x, m.fn(), sopts).converged);
+
+    // Perturb values (same pattern), refactor in place, solve again.
+    CsrMatrix a2 = a;
+    for (auto& v : a2.values_mut()) v *= 1.25;
+    ilu_refactor(m.factorization(), a2);
+    std::fill(x.begin(), x.end(), 0);
+    const SolverResult res = pcg(a2, b, x, m.fn(), sopts);
+    CHECK_MSG(res.converged, "post-refactor PCG rel res %.3g",
+              res.relative_residual);
+    CHECK(true_relative_residual(a2, b, x) < 1e-7);
+  }
+
+  return javelin::test::finish("test_solver");
+}

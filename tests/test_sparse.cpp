@@ -1,0 +1,109 @@
+// SpMV variants against the serial reference, and the nnz-balanced
+// RowPartition invariants.
+#include <random>
+
+#include "javelin/gen/generators.hpp"
+#include "javelin/sparse/spmv.hpp"
+#include "javelin/support/parallel.hpp"
+#include "test_util.hpp"
+
+using namespace javelin;
+
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+void check_partition(const CsrMatrix& a, int parts) {
+  const RowPartition p = RowPartition::build(a, parts);
+  CHECK(p.parts() == parts);
+  CHECK(p.bounds.front() == 0);
+  CHECK(p.bounds.back() == a.rows());
+  for (int t = 0; t < parts; ++t) {
+    CHECK(p.bounds[static_cast<std::size_t>(t)] <=
+          p.bounds[static_cast<std::size_t>(t) + 1]);
+  }
+  // Each chunk's nonzero load is within one max-row of the ideal share
+  // (row-aligned splitting cannot do better than row granularity).
+  index_t max_row_nnz = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    max_row_nnz = std::max(max_row_nnz, a.row_nnz(r));
+  }
+  const double ideal =
+      static_cast<double>(a.nnz()) / static_cast<double>(parts);
+  for (int t = 0; t < parts; ++t) {
+    const index_t lo = p.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = p.bounds[static_cast<std::size_t>(t) + 1];
+    const index_t load = a.row_ptr()[static_cast<std::size_t>(hi)] -
+                         a.row_ptr()[static_cast<std::size_t>(lo)];
+    CHECK_MSG(static_cast<double>(load) <=
+                  ideal + static_cast<double>(max_row_nnz),
+              "part %d load %d ideal %.1f max_row %d", t, load, ideal,
+              max_row_nnz);
+  }
+}
+
+void check_spmv_variants(const CsrMatrix& a, std::uint64_t seed) {
+  const auto x = random_vector(a.cols(), seed);
+  std::vector<value_t> y_ref(static_cast<std::size_t>(a.rows()));
+  spmv_serial(a, x, y_ref);
+
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), -1);
+  spmv(a, x, y);
+  // Row sums accumulate in the same CSR order regardless of which thread
+  // owns the row, so the parallel kernels are bitwise-identical.
+  CHECK(javelin::test::bitwise_equal(y, y_ref));
+
+  for (int parts : {1, 2, 3, 7}) {
+    const RowPartition p = RowPartition::build(a, parts);
+    std::fill(y.begin(), y.end(), -1);
+    spmv(a, p, x, y);
+    CHECK(javelin::test::bitwise_equal(y, y_ref));
+  }
+
+  // axpby: y = 2*A x - y0.
+  auto y0 = random_vector(a.rows(), seed ^ 0xABCD);
+  std::vector<value_t> want(y0);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = 2.0 * y_ref[i] - y0[i];
+  }
+  std::vector<value_t> got(y0);
+  spmv_axpby(a, 2.0, x, -1.0, got);
+  CHECK(javelin::test::bitwise_equal(got, want));
+  got = y0;
+  spmv_axpby(a, RowPartition::build(a, 5), 2.0, x, -1.0, got);
+  CHECK(javelin::test::bitwise_equal(got, want));
+
+  // Segmented spmv stitches rows with atomics: compare with tolerance.
+  const SegmentedTiles tiles = SegmentedTiles::build(a, 128);
+  std::fill(y.begin(), y.end(), -1);
+  spmv_segmented(a, tiles, x, y);
+  CHECK_MSG(javelin::test::max_abs_diff(y, y_ref) < 1e-12,
+            "segmented diff %.3g", javelin::test::max_abs_diff(y, y_ref));
+}
+
+}  // namespace
+
+int main() {
+  ThreadCountGuard guard(4);
+
+  CsrMatrix grid = gen::laplacian2d(23, 19, 5);
+  CsrMatrix circ = gen::circuit(1100, 6.0, 42, /*symmetric_pattern=*/false, 8);
+  CsrMatrix power = gen::power_system(900, 20, 60, 7);
+
+  for (const CsrMatrix* a : {&grid, &circ, &power}) {
+    check_spmv_variants(*a, 123);
+    for (int parts : {1, 2, 4, 9}) check_partition(*a, parts);
+  }
+
+  // Degenerate shapes.
+  check_partition(CsrMatrix::zeros(10, 10), 4);
+  check_partition(CsrMatrix::identity(1), 3);
+
+  return javelin::test::finish("test_sparse");
+}

@@ -1,0 +1,71 @@
+// Minimal check/report harness for the ctest-registered property tests: no
+// external framework in the container, so tests are plain executables whose
+// exit code is the failure count.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "javelin/support/types.hpp"
+
+namespace javelin::test {
+
+inline int failures = 0;
+
+#define CHECK(cond)                                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);       \
+      ++::javelin::test::failures;                                      \
+    }                                                                   \
+  } while (0)
+
+#define CHECK_MSG(cond, ...)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::printf("FAIL %s:%d: %s (", __FILE__, __LINE__, #cond);       \
+      std::printf(__VA_ARGS__);                                         \
+      std::printf(")\n");                                               \
+      ++::javelin::test::failures;                                      \
+    }                                                                   \
+  } while (0)
+
+/// Exact (bitwise) equality of two value sequences; reports the first
+/// mismatch location and magnitude.
+inline bool bitwise_equal(std::span<const value_t> a,
+                          std::span<const value_t> b) {
+  if (a.size() != b.size()) {
+    std::printf("  size mismatch: %zu vs %zu\n", a.size(), b.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      std::printf("  first mismatch at %zu: %.17g vs %.17g (diff %.3g)\n", i,
+                  a[i], b[i], std::abs(a[i] - b[i]));
+      return false;
+    }
+  }
+  return true;
+}
+
+inline value_t max_abs_diff(std::span<const value_t> a,
+                            std::span<const value_t> b) {
+  value_t d = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+inline int finish(const char* name) {
+  if (failures == 0) {
+    std::printf("PASS %s\n", name);
+  } else {
+    std::printf("%d FAILURE(S) in %s\n", failures, name);
+  }
+  return failures;
+}
+
+}  // namespace javelin::test

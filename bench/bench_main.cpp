@@ -1,10 +1,15 @@
 // Benchmark harness: times factor / refactor (persistent scatter map vs the
-// seed binary-search scatter) / triangular solve / SpMV across the synthetic
-// suite and a sweep of thread counts, and emits a BENCH_*.json so the perf
-// trajectory of the repo is measurable PR over PR.
+// seed binary-search scatter) / triangular solve / SpMV / AMG-PCG vs
+// ILU-PCG across the synthetic suite and a sweep of thread counts, and
+// emits a BENCH_*.json so the perf trajectory of the repo is measurable PR
+// over PR.
 //
 //   javelin_bench [--scale S] [--threads 1,2,4] [--reps N] [--fill K]
-//                 [--matrices name1,name2] [--out PATH]
+//                 [--matrices name1,name2] [--matrix file.mtx] [--out PATH]
+//
+// --matrices also accepts laplacian3d_<s> / laplacian2d_<s> (an s×s×s /
+// s×s grid Laplacian at full scale); --matrix (repeatable) benches real
+// SuiteSparse .mtx files alongside the synthetic analogs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,9 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "javelin/amg/preconditioner.hpp"
 #include "javelin/gen/generators.hpp"
 #include "javelin/ilu/solve.hpp"
 #include "javelin/solver/krylov.hpp"
+#include "javelin/sparse/io.hpp"
+#include "javelin/sparse/ops.hpp"
 #include "javelin/sparse/spmv.hpp"
 #include "javelin/support/parallel.hpp"
 #include "javelin/support/timer.hpp"
@@ -30,7 +38,8 @@ struct BenchConfig {
   std::vector<int> threads = {1, 2};
   int reps = 3;
   int fill = 0;
-  std::vector<std::string> matrices;  // empty = whole suite
+  std::vector<std::string> matrices;      // empty = whole suite
+  std::vector<std::string> matrix_files;  // Matrix-Market paths (--matrix)
   std::string out = "BENCH_javelin.json";
 };
 
@@ -68,6 +77,8 @@ BenchConfig parse_args(int argc, char** argv) {
       cfg.fill = std::atoi(next().c_str());
     } else if (arg == "--matrices") {
       cfg.matrices = split_csv(next());
+    } else if (arg == "--matrix") {
+      cfg.matrix_files.push_back(next());
     } else if (arg == "--out") {
       cfg.out = next();
     } else {
@@ -86,6 +97,11 @@ struct ThreadTimings {
   double scatter_searched_s = 0;   // scatter alone, seed path
   double solve_s = 0;              // one ilu_apply
   double spmv_s = 0;               // one partitioned spmv
+  // AMG vs ILU comparison (symmetric-pattern entries only; -1 = not run):
+  double amg_setup_s = -1;         // hierarchy construction
+  double amg_cycle_s = -1;         // one V-cycle apply
+  double amg_pcg_s = -1;           // full AMG-PCG solve to 1e-8
+  double ilu_pcg_s = -1;           // full ILU-PCG solve to 1e-8
 };
 
 struct MatrixReport {
@@ -95,7 +111,10 @@ struct MatrixReport {
   index_t levels = 0;
   index_t rows_moved = 0;
   std::string method;
-  int pcg_iterations = -1;  // ILU-PCG on the 1st thread count, -1 = not run
+  int pcg_iterations = -1;   // ILU-Krylov on the 1st thread count
+  int amg_iterations = -1;   // AMG-PCG (iteration counts are thread-invariant)
+  int amg_levels = 0;
+  double amg_operator_complexity = 0;
   std::vector<ThreadTimings> timings;
 };
 
@@ -153,24 +172,64 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     tt.spmv_s =
         min_time_seconds([&] { spmv(a, part, r, y); }, cfg.reps, 1);
 
-    if (ti == 0) {
-      SolverOptions sopts;
-      sopts.max_iterations = 400;
-      sopts.tolerance = 1e-8;
+    SolverOptions sopts;
+    sopts.max_iterations = 400;
+    sopts.tolerance = 1e-8;
+    if (e.paper_sym_pattern) {
+      // Symmetric-pattern entries: full AMG-PCG vs ILU-PCG wall-time race at
+      // every thread count (iteration counts are deterministic, so they are
+      // recorded once).
+      std::vector<value_t> x(r.size(), 0);
+      IluPreconditioner m(std::move(f));  // last use of f this iteration
+      Timer ilu_t;
+      const SolverResult ires = pcg(a, r, x, m.fn(), sopts);
+      tt.ilu_pcg_s = ilu_t.seconds();
+      if (ti == 0) {
+        rep.pcg_iterations = ires.converged ? ires.iterations : -ires.iterations;
+      }
+      try {
+        AmgOptions aopts;
+        aopts.num_threads = t;
+        Timer setup_t;
+        AmgPreconditioner amg(a, aopts);
+        tt.amg_setup_s = setup_t.seconds();
+        if (ti == 0) {
+          rep.amg_levels = amg.hierarchy().num_levels();
+          rep.amg_operator_complexity = amg.hierarchy().operator_complexity();
+        }
+        std::vector<value_t> zc(r.size());
+        amg.apply(r, zc);  // warm the hierarchy scratch
+        tt.amg_cycle_s =
+            min_time_seconds([&] { amg.apply(r, zc); }, cfg.reps, 1);
+        std::fill(x.begin(), x.end(), 0);
+        Timer amg_t;
+        const SolverResult ares = pcg(a, r, x, amg.fn(), sopts);
+        tt.amg_pcg_s = amg_t.seconds();
+        if (ti == 0) {
+          rep.amg_iterations =
+              ares.converged ? ares.iterations : -ares.iterations;
+        }
+      } catch (const Error& err) {
+        if (ti == 0) std::printf("  amg skipped: %s\n", err.what());
+      }
+    } else if (ti == 0) {
       IluPreconditioner m(std::move(f));
       std::vector<value_t> x(r.size(), 0);
-      const SolverResult res = e.paper_sym_pattern
-                                   ? pcg(a, r, x, m.fn(), sopts)
-                                   : gmres(a, r, x, m.fn(), sopts);
+      const SolverResult res = gmres(a, r, x, m.fn(), sopts);
       rep.pcg_iterations = res.converged ? res.iterations : -res.iterations;
     }
 
     rep.timings.push_back(tt);
     std::printf(
         "  %-18s t=%d  factor %.4fs  refactor %.4fs  scatter map/searched "
-        "%.5f/%.5fs  solve %.5fs  spmv %.5fs\n",
+        "%.5f/%.5fs  solve %.5fs  spmv %.5fs",
         e.name.c_str(), t, tt.factor_s, tt.refactor_s, tt.scatter_map_s,
         tt.scatter_searched_s, tt.solve_s, tt.spmv_s);
+    if (tt.amg_pcg_s >= 0) {
+      std::printf("  pcg ilu/amg %.4f/%.4fs (it %d/%d)", tt.ilu_pcg_s,
+                  tt.amg_pcg_s, rep.pcg_iterations, rep.amg_iterations);
+    }
+    std::printf("\n");
   }
   return rep;
 }
@@ -190,6 +249,9 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
        << ", \"nnz\": " << r.nnz << ", \"levels\": " << r.levels
        << ", \"rows_moved\": " << r.rows_moved << ", \"method\": \""
        << r.method << "\", \"krylov_iterations\": " << r.pcg_iterations
+       << ", \"amg_iterations\": " << r.amg_iterations
+       << ", \"amg_levels\": " << r.amg_levels
+       << ", \"amg_operator_complexity\": " << r.amg_operator_complexity
        << ",\n     \"timings\": [\n";
     for (std::size_t j = 0; j < r.timings.size(); ++j) {
       const ThreadTimings& t = r.timings[j];
@@ -198,11 +260,60 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
          << ", \"scatter_map_s\": " << t.scatter_map_s
          << ", \"scatter_searched_s\": " << t.scatter_searched_s
          << ", \"solve_s\": " << t.solve_s << ", \"spmv_s\": " << t.spmv_s
+         << ", \"amg_setup_s\": " << t.amg_setup_s
+         << ", \"amg_cycle_s\": " << t.amg_cycle_s
+         << ", \"amg_pcg_s\": " << t.amg_pcg_s
+         << ", \"ilu_pcg_s\": " << t.ilu_pcg_s
          << "}" << (j + 1 < r.timings.size() ? "," : "") << "\n";
     }
     os << "     ]}" << (i + 1 < reps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+}
+
+/// Resolve a bench entry name: `laplacian3d_<s>` / `laplacian2d_<s>` build
+/// an s×s×s / s×s grid Laplacian directly (scale-independent, so the
+/// acceptance-grade AMG-vs-ILU comparison always runs at full size);
+/// anything else is a synthetic-suite name.
+gen::SuiteEntry make_bench_entry(const std::string& name,
+                                 const gen::SuiteOptions& sopts) {
+  const auto grid_side = [&](const char* prefix) -> index_t {
+    const std::size_t plen = std::strlen(prefix);
+    if (name.rfind(prefix, 0) != 0) return 0;
+    const int s = std::atoi(name.c_str() + plen);
+    JAVELIN_CHECK(s > 1, "bad grid side in bench entry name: " + name);
+    return static_cast<index_t>(s);
+  };
+  if (const index_t s = grid_side("laplacian3d_")) {
+    gen::SuiteEntry e;
+    e.name = name;
+    e.matrix = gen::laplacian3d(s, s, s, 7);
+    e.paper_sym_pattern = true;
+    return e;
+  }
+  if (const index_t s = grid_side("laplacian2d_")) {
+    gen::SuiteEntry e;
+    e.name = name;
+    e.matrix = gen::laplacian2d(s, s, 5);
+    e.paper_sym_pattern = true;
+    return e;
+  }
+  return gen::make_suite_matrix(name, sopts);
+}
+
+/// Load a Matrix-Market file as a bench entry; the Krylov driver (pcg vs
+/// gmres) follows the file's actual numeric symmetry.
+gen::SuiteEntry make_file_entry(const std::string& path) {
+  gen::SuiteEntry e;
+  const std::size_t slash = path.find_last_of('/');
+  e.name = slash == std::string::npos ? path : path.substr(slash + 1);
+  e.matrix = read_matrix_market_file(path);
+  e.matrix.validate();
+  // Numerically symmetric (over the union pattern) is exactly what the pcg
+  // path needs; one transpose suffices.
+  e.paper_sym_pattern =
+      max_abs_difference(e.matrix, transpose(e.matrix)) == 0;
+  return e;
 }
 
 }  // namespace
@@ -212,20 +323,35 @@ int main(int argc, char** argv) {
 
   gen::SuiteOptions sopts;
   sopts.scale = cfg.scale;
-  const std::vector<std::string> names =
-      cfg.matrices.empty() ? gen::suite_names() : cfg.matrices;
+  std::vector<std::string> names = cfg.matrices;
+  if (names.empty() && cfg.matrix_files.empty()) {
+    names = gen::suite_names();
+    // The acceptance-grade AMG matrix: big enough that ILU-PCG iteration
+    // counts hurt and the O(n) hierarchy pulls ahead.
+    names.push_back("laplacian3d_40");
+  }
 
   std::printf("javelin bench: scale=%.3g fill=%d reps=%d\n", cfg.scale,
               cfg.fill, cfg.reps);
   std::vector<MatrixReport> reports;
   for (const std::string& name : names) {
     try {
-      gen::SuiteEntry e = gen::make_suite_matrix(name, sopts);
+      gen::SuiteEntry e = make_bench_entry(name, sopts);
       std::printf("%s (n=%d, nnz=%d)\n", name.c_str(), e.matrix.rows(),
                   e.matrix.nnz());
       reports.push_back(bench_matrix(e, cfg));
     } catch (const Error& err) {
       std::printf("%s SKIPPED: %s\n", name.c_str(), err.what());
+    }
+  }
+  for (const std::string& path : cfg.matrix_files) {
+    try {
+      gen::SuiteEntry e = make_file_entry(path);
+      std::printf("%s (n=%d, nnz=%d, %s)\n", e.name.c_str(), e.matrix.rows(),
+                  e.matrix.nnz(), e.paper_sym_pattern ? "sym" : "unsym");
+      reports.push_back(bench_matrix(e, cfg));
+    } catch (const Error& err) {
+      std::printf("%s SKIPPED: %s\n", path.c_str(), err.what());
     }
   }
   write_json(cfg, reports);

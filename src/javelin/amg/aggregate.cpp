@@ -1,0 +1,94 @@
+#include "javelin/amg/aggregate.hpp"
+
+#include <cmath>
+
+#include "javelin/graph/bfs.hpp"
+
+namespace javelin {
+
+namespace {
+
+/// BFS visit order over every component: George–Liu pseudo-peripheral start
+/// per component, components discovered in natural order.
+std::vector<index_t> bfs_visit_order(const CsrMatrix& s) {
+  const index_t n = s.rows();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> reached(static_cast<std::size_t>(n), 0);
+  for (index_t v = 0; v < n; ++v) {
+    if (reached[static_cast<std::size_t>(v)]) continue;
+    const index_t src = pseudo_peripheral_vertex(s, v);
+    const BfsResult b = bfs(s, src);
+    for (index_t u : b.order) {
+      reached[static_cast<std::size_t>(u)] = 1;
+      order.push_back(u);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Aggregates aggregate(const CsrMatrix& s) {
+  JAVELIN_CHECK(s.square(), "aggregate requires a square strength graph");
+  const index_t n = s.rows();
+  Aggregates agg;
+  agg.id.assign(static_cast<std::size_t>(n), kInvalidIndex);
+
+  const std::vector<index_t> order = bfs_visit_order(s);
+
+  // Phase 1: a vertex whose strong neighbourhood is entirely unassigned
+  // becomes the root of a new aggregate and absorbs that neighbourhood.
+  for (index_t v : order) {
+    if (agg.id[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    bool free = true;
+    for (index_t c : s.row_cols(v)) {
+      if (c != v && agg.id[static_cast<std::size_t>(c)] != kInvalidIndex) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) continue;
+    const index_t g = agg.count++;
+    agg.id[static_cast<std::size_t>(v)] = g;
+    for (index_t c : s.row_cols(v)) {
+      if (c != v) agg.id[static_cast<std::size_t>(c)] = g;
+    }
+  }
+
+  // Phase 2: leftovers join the phase-1 aggregate of their strongest
+  // neighbour. Decisions read the phase-1 snapshot so one pass is enough and
+  // assignments cannot cascade along a chain within the pass.
+  const std::vector<index_t> phase1 = agg.id;
+  for (index_t v : order) {
+    if (agg.id[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    index_t best = kInvalidIndex;
+    value_t best_w = -1;
+    auto cols = s.row_cols(v);
+    auto vals = s.row_vals(v);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == v) continue;
+      const index_t g = phase1[static_cast<std::size_t>(cols[k])];
+      if (g == kInvalidIndex) continue;
+      const value_t w = std::abs(vals[k]);
+      if (w > best_w) {
+        best_w = w;
+        best = g;
+      }
+    }
+    agg.id[static_cast<std::size_t>(v)] = best;  // may stay unassigned
+  }
+
+  // Phase 3: isolated vertices (no strong connections at all) become
+  // singleton aggregates — the smoother handles them alone, but keeping the
+  // partition total means P has no zero rows and hierarchy invariants stay
+  // simple.
+  for (index_t v : order) {
+    if (agg.id[static_cast<std::size_t>(v)] == kInvalidIndex) {
+      agg.id[static_cast<std::size_t>(v)] = agg.count++;
+    }
+  }
+  return agg;
+}
+
+}  // namespace javelin

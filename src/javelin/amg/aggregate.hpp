@@ -1,0 +1,29 @@
+// Plain (unsmoothed) aggregation over the strength-of-connection graph.
+// Vertices are visited in BFS order from a pseudo-peripheral vertex of each
+// component (reusing the graph/ utilities that already feed RCM), which
+// keeps aggregates compact and the coarse numbering bandwidth-friendly —
+// the coarse operators feed straight back into the ILU planner, whose level
+// structure rewards locality.
+#pragma once
+
+#include <vector>
+
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin {
+
+struct Aggregates {
+  /// Aggregate id per fine row; every row is assigned (isolated vertices
+  /// become singletons), so `id` is a partition of [0, n) into `count` sets.
+  std::vector<index_t> id;
+  index_t count = 0;
+};
+
+/// Greedy aggregation on `strength` (treated as undirected; callers pass a
+/// pattern-symmetrized strength graph). Three phases in BFS visit order:
+/// root aggregates around vertices with no aggregated strong neighbour,
+/// leftover vertices joining their strongest phase-1 neighbour, and
+/// singletons for anything still unassigned. Serial and deterministic.
+Aggregates aggregate(const CsrMatrix& strength);
+
+}  // namespace javelin

@@ -1,0 +1,102 @@
+#include "javelin/amg/preconditioner.hpp"
+
+namespace javelin {
+
+namespace {
+
+/// Solve the coarsest level with the prefactored dense LU (permuted forward
+/// substitution, then backward).
+void dense_coarse_solve(const AmgHierarchy& h, std::span<const value_t> rhs,
+                        std::span<value_t> x) {
+  const index_t n = static_cast<index_t>(h.dense_piv.size());
+  const auto at = [&](index_t r, index_t c) -> value_t {
+    return h.dense_lu[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(c)];
+  };
+  for (index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)];
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = h.dense_piv[static_cast<std::size_t>(k)];
+    if (p != k) std::swap(x[static_cast<std::size_t>(k)], x[static_cast<std::size_t>(p)]);
+    for (index_t r = k + 1; r < n; ++r) {
+      x[static_cast<std::size_t>(r)] -= at(r, k) * x[static_cast<std::size_t>(k)];
+    }
+  }
+  for (index_t r = n; r-- > 0;) {
+    value_t s = x[static_cast<std::size_t>(r)];
+    for (index_t c = r + 1; c < n; ++c) {
+      s -= at(r, c) * x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(r)] = s / at(r, r);
+  }
+}
+
+void coarse_solve(AmgHierarchy& h, std::span<const value_t> rhs,
+                  std::span<value_t> x) {
+  if (h.dense_coarse) {
+    dense_coarse_solve(h, rhs, x);
+  } else {
+    // Approximate coarse solve: one serial ILU(0) apply (stalled-coarsening
+    // fallback; see amg_setup).
+    ilu_apply(*h.coarse_ilu, rhs, x, h.coarse_ws);
+  }
+}
+
+/// One relaxation sweep: x += M⁻¹ (rhs − A x). `x_is_zero` skips the
+/// residual spmv on the first pre-sweep (x = 0 ⇒ resid = rhs).
+void smooth(AmgLevel& l, std::span<const value_t> rhs, std::span<value_t> x,
+            bool x_is_zero) {
+  const std::size_t un = static_cast<std::size_t>(l.n());
+  std::span<value_t> resid(l.resid);
+  if (x_is_zero) {
+    for (std::size_t i = 0; i < un; ++i) resid[i] = rhs[i];
+  } else {
+    spmv(l.a, l.part_a, x, resid);
+    for (std::size_t i = 0; i < un; ++i) resid[i] = rhs[i] - resid[i];
+  }
+  if (l.ilu) {
+    ilu_apply(*l.ilu, resid, l.tmp, l.ilu_ws);
+    for (std::size_t i = 0; i < un; ++i) x[i] += l.tmp[i];
+  } else {
+    for (std::size_t i = 0; i < un; ++i) {
+      x[i] += l.scaled_inv_diag[i] * resid[i];
+    }
+  }
+}
+
+void cycle(AmgHierarchy& h, std::size_t lvl, std::span<const value_t> rhs,
+           std::span<value_t> x) {
+  if (lvl + 1 == h.levels.size()) {
+    coarse_solve(h, rhs, x);
+    return;
+  }
+  AmgLevel& l = h.levels[lvl];
+  AmgLevel& c = h.levels[lvl + 1];
+  const std::size_t un = static_cast<std::size_t>(l.n());
+
+  fill(x.subspan(0, un), 0);
+  for (int s = 0; s < h.opts.pre_sweeps; ++s) smooth(l, rhs, x, s == 0);
+
+  // Restrict the residual: c.rhs = R (rhs − A x).
+  std::span<value_t> resid(l.resid);
+  spmv(l.a, l.part_a, x, resid);
+  for (std::size_t i = 0; i < un; ++i) resid[i] = rhs[i] - resid[i];
+  spmv(l.r, l.part_r, resid, c.rhs);
+
+  cycle(h, lvl + 1, c.rhs, c.x);
+
+  // Prolongate and correct: x += P x_c.
+  spmv(l.p, l.part_p, c.x, l.tmp);
+  for (std::size_t i = 0; i < un; ++i) x[i] += l.tmp[i];
+
+  for (int s = 0; s < h.opts.post_sweeps; ++s) smooth(l, rhs, x, false);
+}
+
+}  // namespace
+
+void amg_vcycle(AmgHierarchy& h, std::span<const value_t> r,
+                std::span<value_t> z) {
+  JAVELIN_CHECK(!h.levels.empty(), "amg_vcycle on an empty hierarchy");
+  cycle(h, 0, r, z);
+}
+
+}  // namespace javelin

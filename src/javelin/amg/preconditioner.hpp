@@ -1,0 +1,48 @@
+// V-cycle application and the AmgPreconditioner packaging that sits behind
+// the same PrecondFn interface as IluPreconditioner, so pcg/gmres and the
+// bench driver swap preconditioners without code changes (the amgcl wrapping
+// pattern solver/krylov.hpp already mirrors).
+#pragma once
+
+#include <span>
+
+#include "javelin/amg/hierarchy.hpp"
+#include "javelin/solver/krylov.hpp"
+
+namespace javelin {
+
+/// One V(pre_sweeps, post_sweeps) cycle: z = B r with B the AMG operator.
+/// r and z have the fine dimension and must not alias. Mutates only the
+/// hierarchy's scratch state, so the operator itself is fixed: identical r
+/// yields bitwise-identical z (all smoothers ride the deterministic
+/// spmv/ilu_apply kernels).
+void amg_vcycle(AmgHierarchy& h, std::span<const value_t> r,
+                std::span<value_t> z);
+
+/// Setup-once / apply-thousands packaging of the AMG hierarchy, mirroring
+/// IluPreconditioner. Not safe for concurrent apply() on one instance.
+class AmgPreconditioner {
+ public:
+  AmgPreconditioner(const CsrMatrix& a, const AmgOptions& opts = {})
+      : h_(amg_setup(a, opts)) {}
+  explicit AmgPreconditioner(AmgHierarchy h) : h_(std::move(h)) {}
+
+  void apply(std::span<const value_t> r, std::span<value_t> z) const {
+    amg_vcycle(h_, r, z);
+  }
+
+  /// Adapter for the solver drivers.
+  PrecondFn fn() const {
+    return [this](std::span<const value_t> r, std::span<value_t> z) {
+      apply(r, z);
+    };
+  }
+
+  const AmgHierarchy& hierarchy() const noexcept { return h_; }
+  AmgHierarchy& hierarchy() noexcept { return h_; }
+
+ private:
+  mutable AmgHierarchy h_;  // scratch vectors and spin counters mutate
+};
+
+}  // namespace javelin

@@ -1,0 +1,160 @@
+#include "javelin/amg/strength.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "javelin/support/scan.hpp"
+
+namespace javelin {
+
+namespace {
+
+/// |a_ii| per row (0 when the diagonal is structurally absent).
+std::vector<value_t> abs_diagonal(const CsrMatrix& a) {
+  std::vector<value_t> d(static_cast<std::size_t>(a.rows()), value_t{0});
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < a.rows(); ++r) {
+    d[static_cast<std::size_t>(r)] = std::abs(a.at(r, r));
+  }
+  return d;
+}
+
+inline bool is_strong(value_t aij, value_t dii, value_t djj, double eps) {
+  return std::abs(aij) >
+         static_cast<value_t>(eps) * std::sqrt(dii * djj);
+}
+
+}  // namespace
+
+CsrMatrix strong_connections(const CsrMatrix& a, double eps) {
+  JAVELIN_CHECK(a.square(), "strong_connections requires a square matrix");
+  const index_t n = a.rows();
+  const std::vector<value_t> d = abs_diagonal(a);
+
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    index_t cnt = 0;
+    auto cols = a.row_cols(r);
+    auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) continue;
+      if (is_strong(vals[k], d[static_cast<std::size_t>(r)],
+                    d[static_cast<std::size_t>(cols[k])], eps)) {
+        ++cnt;
+      }
+    }
+    rp[static_cast<std::size_t>(r) + 1] = cnt;
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+
+  std::vector<index_t> ci(static_cast<std::size_t>(rp.back()));
+  std::vector<value_t> vv(static_cast<std::size_t>(rp.back()));
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    index_t w = rp[static_cast<std::size_t>(r)];
+    auto cols = a.row_cols(r);
+    auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) continue;
+      if (!is_strong(vals[k], d[static_cast<std::size_t>(r)],
+                     d[static_cast<std::size_t>(cols[k])], eps)) {
+        continue;
+      }
+      ci[static_cast<std::size_t>(w)] = cols[k];
+      vv[static_cast<std::size_t>(w)] = vals[k];
+      ++w;
+    }
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+CsrMatrix filter_matrix(const CsrMatrix& a, const CsrMatrix& strength) {
+  JAVELIN_CHECK(a.square(), "filter_matrix requires a square matrix");
+  JAVELIN_CHECK(strength.rows() == a.rows(),
+                "filter_matrix: strength graph dimension mismatch");
+  const index_t n = a.rows();
+
+  // Each output row keeps exactly its strong off-diagonals plus the diagonal.
+  std::vector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t r = 0; r < n; ++r) {
+    rp[static_cast<std::size_t>(r) + 1] = strength.row_nnz(r) + 1;
+  }
+  inclusive_scan_inplace(std::span<index_t>(rp).subspan(1));
+
+  std::vector<index_t> ci(static_cast<std::size_t>(rp.back()));
+  std::vector<value_t> vv(static_cast<std::size_t>(rp.back()));
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    auto cols = a.row_cols(r);
+    auto vals = a.row_vals(r);
+    auto scols = strength.row_cols(r);
+    // Both rows are sorted, so membership in the strength row is a
+    // two-pointer walk. Weak off-diagonals are lumped onto the diagonal
+    // first; the write pass then emits one sorted row with the diagonal
+    // slotted at its position.
+    value_t diag = 0;
+    {
+      std::size_t sp = 0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == r) {
+          diag += vals[k];
+          continue;
+        }
+        if (sp < scols.size() && scols[sp] == cols[k]) {
+          ++sp;  // strong: kept as-is below
+        } else {
+          diag += vals[k];  // weak: lumped
+        }
+      }
+    }
+    index_t w = rp[static_cast<std::size_t>(r)];
+    bool diag_written = false;
+    std::size_t sp = 0;
+    for (std::size_t k = 0; k < cols.size() && sp < scols.size(); ++k) {
+      if (cols[k] != scols[sp]) continue;
+      ++sp;
+      if (!diag_written && cols[k] > r) {
+        ci[static_cast<std::size_t>(w)] = r;
+        vv[static_cast<std::size_t>(w)] = diag;
+        ++w;
+        diag_written = true;
+      }
+      ci[static_cast<std::size_t>(w)] = cols[k];
+      vv[static_cast<std::size_t>(w)] = vals[k];
+      ++w;
+    }
+    if (!diag_written) {
+      ci[static_cast<std::size_t>(w)] = r;
+      vv[static_cast<std::size_t>(w)] = diag;
+    }
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+CsrMatrix prolongation_smoother(const CsrMatrix& a_f, double omega) {
+  const index_t n = a_f.rows();
+  CsrMatrix s = a_f;  // same pattern; rewrite the values in place
+  const auto ci = s.col_idx();
+  auto vv = s.values_mut();
+  bool zero_diag = false;  // throwing out of a parallel region is UB
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < n; ++r) {
+    const value_t diag = a_f.at(r, r);
+    if (diag == 0) {
+#pragma omp atomic write
+      zero_diag = true;
+      continue;
+    }
+    const value_t scale = static_cast<value_t>(omega) / diag;
+    for (index_t k = s.row_begin(r); k < s.row_end(r); ++k) {
+      const value_t sv = -scale * vv[static_cast<std::size_t>(k)];
+      vv[static_cast<std::size_t>(k)] =
+          ci[static_cast<std::size_t>(k)] == r ? value_t{1} + sv : sv;
+    }
+  }
+  JAVELIN_CHECK(!zero_diag, "prolongation_smoother: zero filtered diagonal");
+  return s;
+}
+
+}  // namespace javelin

@@ -1,0 +1,27 @@
+// Strength-of-connection classification (smoothed aggregation, Vaněk et al.):
+// an off-diagonal (i,j) is strong iff |a_ij| > ε·sqrt(|a_ii|·|a_jj|). The
+// strong graph drives aggregation; the filtered matrix (weak entries lumped
+// onto the diagonal) drives prolongation smoothing.
+#pragma once
+
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin {
+
+/// Strong off-diagonal connections of `a` (diagonal excluded, values kept).
+/// Row-parallel, output uniquely determined by the input.
+CsrMatrix strong_connections(const CsrMatrix& a, double eps);
+
+/// Filtered matrix A_f: diagonal plus strong off-diagonals, with every weak
+/// off-diagonal value added to its row's diagonal (lumping preserves row
+/// sums, so the smoothed prolongation reproduces constants exactly on
+/// M-matrices). `strength` is the strong_connections(a, ε) graph — the one
+/// classification drives both aggregation and filtering, so the strength
+/// rule has a single definition.
+CsrMatrix filter_matrix(const CsrMatrix& a, const CsrMatrix& strength);
+
+/// The Jacobi prolongation smoother operator S = I − ω D_f⁻¹ A_f assembled
+/// as CSR (same pattern as A_f). Throws on a zero filtered diagonal.
+CsrMatrix prolongation_smoother(const CsrMatrix& a_f, double omega);
+
+}  // namespace javelin

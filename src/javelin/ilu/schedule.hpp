@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "javelin/sparse/csr.hpp"
@@ -76,17 +77,28 @@ P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
 /// columns of `lu`; levels computed on that pattern, processed high-to-low.
 P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads);
 
-/// Execute the schedule. `row_fn(row, thread)` is called once per row, in
-/// dependency order, from inside a parallel region; it must not throw.
-/// Falls back to the serial order when the OpenMP runtime provides a team
-/// smaller than planned.
+/// Execute the schedule with caller-provided progress counters. `row_fn(row,
+/// thread)` is called once per row, in dependency order, from inside a
+/// parallel region; it must not throw. Falls back to the serial order when
+/// the OpenMP runtime provides a team smaller than planned.
+///
+/// `progress` is grown (reallocating) only when it is smaller than the
+/// schedule's team and re-armed (zeroed) otherwise, so callers that sweep
+/// thousands of times — the stri-per-Krylov-iteration profile, and now the
+/// AMG smoother running stri at every level of every V-cycle — pay the
+/// threads×64B counter allocation once, not per sweep.
 template <class RowFn>
-void p2p_execute(const P2PSchedule& s, RowFn&& row_fn) {
+void p2p_execute(const P2PSchedule& s, RowFn&& row_fn,
+                 ProgressCounters& progress) {
   if (s.threads <= 1) {
     for (index_t r : s.serial_order) row_fn(r, 0);
     return;
   }
-  ProgressCounters progress(s.threads);
+  if (progress.num_threads() < s.threads) {
+    progress.reset(s.threads);
+  } else {
+    progress.rearm();
+  }
   bool fallback = false;
 #pragma omp parallel num_threads(s.threads)
   {
@@ -115,6 +127,15 @@ void p2p_execute(const P2PSchedule& s, RowFn&& row_fn) {
   if (fallback) {
     for (index_t r : s.serial_order) row_fn(r, 0);
   }
+}
+
+/// Convenience overload with per-call counters (one-shot executions such as
+/// the factorization numeric phase; sweep loops should pass a persistent
+/// ProgressCounters instead).
+template <class RowFn>
+void p2p_execute(const P2PSchedule& s, RowFn&& row_fn) {
+  ProgressCounters progress;
+  p2p_execute(s, std::forward<RowFn>(row_fn), progress);
 }
 
 }  // namespace javelin

@@ -76,9 +76,12 @@ void trsv_forward(const Factorization& f, std::span<value_t> x,
   // Upper-stage rows: same schedule, same spin-waits as the factorization.
   // x[r] holds the rhs on entry; lower_partial reads only columns < r, whose
   // completion the schedule's waits guarantee.
-  p2p_execute(f.fwd, [&](index_t r, int) {
-    x[static_cast<std::size_t>(r)] -= lower_partial(lu, r, r, x, 0);
-  });
+  p2p_execute(
+      f.fwd,
+      [&](index_t r, int) {
+        x[static_cast<std::size_t>(r)] -= lower_partial(lu, r, r, x, 0);
+      },
+      ws.progress);
 
   if (n_lower == 0) return;
   if (f.fwd.threads <= 1 || n_lower < 64) {
@@ -106,9 +109,11 @@ void trsv_forward(const Factorization& f, std::span<value_t> x,
   }
 }
 
-void trsv_backward(const Factorization& f, std::span<value_t> x) {
-  p2p_execute(f.bwd,
-              [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); });
+void trsv_backward(const Factorization& f, std::span<value_t> x,
+                   SolveWorkspace& ws) {
+  p2p_execute(
+      f.bwd, [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); },
+      ws.progress);
 }
 
 void trsv_forward_serial(const Factorization& f, std::span<value_t> x) {
@@ -134,7 +139,7 @@ void ilu_apply(const Factorization& f, std::span<const value_t> r,
         r[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
   }
   trsv_forward(f, x, ws);
-  trsv_backward(f, x);
+  trsv_backward(f, x, ws);
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < n; ++i) {
     z[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =

@@ -23,12 +23,15 @@
 
 namespace javelin {
 
-/// Reusable scratch for repeated ilu_apply calls (permuted rhs/solution and
-/// the lower-stage partial sums). Kept outside the Factorization so multiple
-/// solves may share one immutable factor with private workspaces.
+/// Reusable scratch for repeated ilu_apply calls (permuted rhs/solution, the
+/// lower-stage partial sums, and the P2P progress counters both sweeps
+/// re-arm instead of reallocating). Kept outside the Factorization so
+/// multiple solves may share one immutable factor with private workspaces.
+/// Move-only: the counters are atomics.
 struct SolveWorkspace {
   std::vector<value_t> x;          ///< permuted vector being solved in place
   std::vector<value_t> lower_acc;  ///< partial sums of the lower-stage rows
+  ProgressCounters progress;       ///< spin-wait counters reused every sweep
 
   void resize(index_t n, index_t n_lower) {
     x.resize(static_cast<std::size_t>(n));
@@ -48,8 +51,10 @@ void trsv_serial(const CsrMatrix& lu, std::span<const index_t> diag_pos,
 void trsv_forward(const Factorization& f, std::span<value_t> x,
                   SolveWorkspace& ws);
 
-/// In-place P2P backward sweep: x := U^{-1} x, diagonal divide fused.
-void trsv_backward(const Factorization& f, std::span<value_t> x);
+/// In-place P2P backward sweep: x := U^{-1} x, diagonal divide fused. Shares
+/// ws.progress with the forward sweep (the sweeps never overlap).
+void trsv_backward(const Factorization& f, std::span<value_t> x,
+                   SolveWorkspace& ws);
 
 /// Serial in-place variants (reference paths for tests and fallback).
 void trsv_forward_serial(const Factorization& f, std::span<value_t> x);

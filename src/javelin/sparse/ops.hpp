@@ -12,8 +12,21 @@
 
 namespace javelin {
 
-/// Bᵀ with values. O(nnz) counting transpose; parallel scatter per row bucket.
+/// Bᵀ with values. O(nnz) counting transpose. Large inputs run a chunked
+/// parallel scatter (per-chunk column histograms, prefix-summed into disjoint
+/// write windows); the output is uniquely determined, so every thread count
+/// produces bitwise-identical results.
 CsrMatrix transpose(const CsrMatrix& a);
+
+/// Sparse matrix product C = A·B via a two-pass hash-accumulator SpGEMM:
+/// a symbolic pass counts each output row's distinct columns with a dense
+/// marker, then a numeric pass fills values, both parallel over rows.
+/// Per output entry the accumulation walks A's row and B's rows in storage
+/// order regardless of which thread owns the row, so results are
+/// bitwise-deterministic across thread counts (same discipline as the
+/// factorization parity guarantee). Rows of the result are sorted; input
+/// rows need not be.
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
 
 /// Pattern of A + Aᵀ (values are a[i][j] + a[j][i] treating missing as 0).
 /// Used to build the symmetrized lower pattern that enables the SR lower

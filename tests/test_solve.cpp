@@ -45,7 +45,7 @@ void check_apply_parity(const char* name, const CsrMatrix& a, IluOptions opts) {
   trsv_forward(f, xp, ws);
   trsv_forward_serial(f, xs);
   CHECK(javelin::test::bitwise_equal(xp, xs));
-  trsv_backward(f, xp);
+  trsv_backward(f, xp, ws);
   trsv_backward_serial(f, xs);
   CHECK(javelin::test::bitwise_equal(xp, xs));
 
@@ -55,7 +55,7 @@ void check_apply_parity(const char* name, const CsrMatrix& a, IluOptions opts) {
   trsv_serial(f.lu, f.diag_pos, b, x_ref);
   auto x_p2p = b;
   trsv_forward(f, x_p2p, ws);
-  trsv_backward(f, x_p2p);
+  trsv_backward(f, x_p2p, ws);
   CHECK(javelin::test::bitwise_equal(x_p2p, x_ref));
 }
 

@@ -2,24 +2,15 @@
 // preconditioned GMRES(m) on unsymmetric, both with and without the Javelin
 // ILU preconditioner. Residuals are re-verified from scratch — the solver's
 // own bookkeeping is not trusted.
-#include <random>
-
 #include "javelin/gen/generators.hpp"
 #include "javelin/solver/krylov.hpp"
 #include "javelin/support/parallel.hpp"
 #include "test_util.hpp"
 
 using namespace javelin;
+using javelin::test::random_vector;
 
 namespace {
-
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-  std::vector<value_t> v(static_cast<std::size_t>(n));
-  for (auto& x : v) x = dist(rng);
-  return v;
-}
 
 double true_relative_residual(const CsrMatrix& a, std::span<const value_t> b,
                               std::span<const value_t> x) {

@@ -1,23 +1,14 @@
 // SpMV variants against the serial reference, and the nnz-balanced
 // RowPartition invariants.
-#include <random>
-
 #include "javelin/gen/generators.hpp"
 #include "javelin/sparse/spmv.hpp"
 #include "javelin/support/parallel.hpp"
 #include "test_util.hpp"
 
 using namespace javelin;
+using javelin::test::random_vector;
 
 namespace {
-
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-  std::vector<value_t> v(static_cast<std::size_t>(n));
-  for (auto& x : v) x = dist(rng);
-  return v;
-}
 
 void check_partition(const CsrMatrix& a, int parts) {
   const RowPartition p = RowPartition::build(a, parts);

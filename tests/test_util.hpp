@@ -4,13 +4,24 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <random>
 #include <span>
 #include <vector>
 
 #include "javelin/support/types.hpp"
 
 namespace javelin::test {
+
+/// Deterministic uniform(-1, 1) vector shared by the solver-class tests.
+inline std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
 
 inline int failures = 0;
 

@@ -35,7 +35,7 @@ namespace {
 
 struct BenchConfig {
   double scale = 0.02;
-  std::vector<int> threads = {1, 2};
+  std::vector<int> threads = {1, 2, 4, 8};
   int reps = 3;
   int fill = 0;
   std::vector<std::string> matrices;      // empty = whole suite
@@ -97,6 +97,13 @@ struct ThreadTimings {
   double scatter_searched_s = 0;   // scatter alone, seed path
   double solve_s = 0;              // one ilu_apply
   double spmv_s = 0;               // one partitioned spmv
+  // Fused vs unfused Krylov inner loop: wall time per iteration of the same
+  // restructured driver consuming ilu_apply_spmv (fused) vs apply-then-spmv
+  // as two kernels (unfused). -1 = not run (pcg_* on symmetric entries only).
+  double pcg_fused_iter_s = -1;
+  double pcg_unfused_iter_s = -1;
+  double gmres_fused_iter_s = -1;
+  double gmres_unfused_iter_s = -1;
   // AMG vs ILU comparison (symmetric-pattern entries only; -1 = not run):
   double amg_setup_s = -1;         // hierarchy construction
   double amg_cycle_s = -1;         // one V-cycle apply
@@ -115,6 +122,9 @@ struct MatrixReport {
   int amg_iterations = -1;   // AMG-PCG (iteration counts are thread-invariant)
   int amg_levels = 0;
   double amg_operator_complexity = 0;
+  /// Fused and unfused solver trajectories bitwise-identical, at every
+  /// thread count and against the first thread count's solution.
+  bool fused_parity = true;
   std::vector<ThreadTimings> timings;
 };
 
@@ -132,6 +142,10 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
   const CsrMatrix& a = e.matrix;
   rep.n = a.rows();
   rep.nnz = a.nnz();
+
+  // First-thread-count fused solutions; every later thread count and every
+  // unfused run must reproduce them bitwise.
+  std::vector<value_t> ref_pcg_x, ref_gmres_x;
 
   for (std::size_t ti = 0; ti < cfg.threads.size(); ++ti) {
     const int t = cfg.threads[ti];
@@ -171,6 +185,61 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     std::vector<value_t> y(r.size());
     tt.spmv_s =
         min_time_seconds([&] { spmv(a, part, r, y); }, cfg.reps, 1);
+
+    // Fused vs unfused Krylov inner loop: the SAME restructured drivers, the
+    // only difference being one scheduled pass (ilu_apply_spmv) vs two
+    // kernel launches (ilu_apply then spmv) per iteration. tolerance 0 runs
+    // the full iteration budget so the quotient is a per-iteration wall
+    // time, and the solutions double as the bitwise parity check — fused vs
+    // unfused, and against the first thread count.
+    {
+      SolverOptions fo;
+      fo.max_iterations = 30;
+      fo.tolerance = 0;
+      FusedIluOperator fop(a, Factorization(f));
+      const KrylovOperator uop = unfused_operator(a, fop.fn());
+      std::vector<value_t> xf(r.size()), xu(r.size());
+      // One checked run per mode for parity + iteration count, then
+      // min-of-reps for the wall time (min filters scheduler noise, which
+      // dominates when the team oversubscribes the machine).
+      const auto time_iter = [&](auto&& solve, std::vector<value_t>& x) {
+        std::fill(x.begin(), x.end(), 0);
+        const SolverResult res = solve(x);
+        const double wall = min_time_seconds(
+            [&] {
+              std::fill(x.begin(), x.end(), 0);
+              solve(x);
+            },
+            cfg.reps, 1);
+        return wall / std::max(1, res.iterations);
+      };
+      if (e.paper_sym_pattern) {
+        tt.pcg_fused_iter_s = time_iter(
+            [&](std::span<value_t> x) { return pcg_fused(a, r, x, fop.op(), fo); },
+            xf);
+        tt.pcg_unfused_iter_s = time_iter(
+            [&](std::span<value_t> x) { return pcg_fused(a, r, x, uop, fo); },
+            xu);
+        if (xf != xu) rep.fused_parity = false;
+        if (ref_pcg_x.empty()) {
+          ref_pcg_x = xf;
+        } else if (xf != ref_pcg_x) {
+          rep.fused_parity = false;
+        }
+      }
+      tt.gmres_fused_iter_s = time_iter(
+          [&](std::span<value_t> x) { return gmres_fused(a, r, x, fop.op(), fo); },
+          xf);
+      tt.gmres_unfused_iter_s = time_iter(
+          [&](std::span<value_t> x) { return gmres_fused(a, r, x, uop, fo); },
+          xu);
+      if (xf != xu) rep.fused_parity = false;
+      if (ref_gmres_x.empty()) {
+        ref_gmres_x = xf;
+      } else if (xf != ref_gmres_x) {
+        rep.fused_parity = false;
+      }
+    }
 
     SolverOptions sopts;
     sopts.max_iterations = 400;
@@ -225,6 +294,16 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
         "%.5f/%.5fs  solve %.5fs  spmv %.5fs",
         e.name.c_str(), t, tt.factor_s, tt.refactor_s, tt.scatter_map_s,
         tt.scatter_searched_s, tt.solve_s, tt.spmv_s);
+    if (tt.pcg_fused_iter_s >= 0) {
+      std::printf("  pcg-it fused/unfused %.5f/%.5fs (%.2fx)",
+                  tt.pcg_fused_iter_s, tt.pcg_unfused_iter_s,
+                  tt.pcg_unfused_iter_s / tt.pcg_fused_iter_s);
+    }
+    if (tt.gmres_fused_iter_s >= 0) {
+      std::printf("  gmres-it fused/unfused %.5f/%.5fs (%.2fx)",
+                  tt.gmres_fused_iter_s, tt.gmres_unfused_iter_s,
+                  tt.gmres_unfused_iter_s / tt.gmres_fused_iter_s);
+    }
     if (tt.amg_pcg_s >= 0) {
       std::printf("  pcg ilu/amg %.4f/%.4fs (it %d/%d)", tt.ilu_pcg_s,
                   tt.amg_pcg_s, rep.pcg_iterations, rep.amg_iterations);
@@ -252,6 +331,7 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
        << ", \"amg_iterations\": " << r.amg_iterations
        << ", \"amg_levels\": " << r.amg_levels
        << ", \"amg_operator_complexity\": " << r.amg_operator_complexity
+       << ", \"fused_parity\": " << (r.fused_parity ? "true" : "false")
        << ",\n     \"timings\": [\n";
     for (std::size_t j = 0; j < r.timings.size(); ++j) {
       const ThreadTimings& t = r.timings[j];
@@ -260,6 +340,10 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
          << ", \"scatter_map_s\": " << t.scatter_map_s
          << ", \"scatter_searched_s\": " << t.scatter_searched_s
          << ", \"solve_s\": " << t.solve_s << ", \"spmv_s\": " << t.spmv_s
+         << ", \"pcg_fused_iter_s\": " << t.pcg_fused_iter_s
+         << ", \"pcg_unfused_iter_s\": " << t.pcg_unfused_iter_s
+         << ", \"gmres_fused_iter_s\": " << t.gmres_fused_iter_s
+         << ", \"gmres_unfused_iter_s\": " << t.gmres_unfused_iter_s
          << ", \"amg_setup_s\": " << t.amg_setup_s
          << ", \"amg_cycle_s\": " << t.amg_cycle_s
          << ", \"amg_pcg_s\": " << t.amg_pcg_s

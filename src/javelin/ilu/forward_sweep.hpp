@@ -1,0 +1,71 @@
+// The forward (L) sweep shared by the unfused solve path (trsv_forward,
+// where x already holds the permuted rhs) and the fused solve+SpMV path
+// (fused_forward, where the rhs gather x = P r is folded into each row).
+// One implementation keeps the tail policy — the small-tail cutoff, the
+// ER-style parallel partial sums, the ordered corner resolve — in a single
+// place, so the bitwise fused/unfused parity contract cannot drift.
+#pragma once
+
+#include <span>
+
+#include "javelin/ilu/factorization.hpp"
+#include "javelin/ilu/solve.hpp"
+#include "javelin/ilu/trsv_kernels.hpp"
+#include "javelin/support/parallel.hpp"
+
+namespace javelin::detail {
+
+/// In-place P2P forward sweep on the permuted factor: on exit L x' = rhs,
+/// where `rhs(r)` yields row r's right-hand side (read before x[r] is
+/// written, so `[&x](index_t r) { return x[r]; }` expresses the in-place
+/// pre-gathered case). Upper-stage rows run under f.fwd; lower-stage rows
+/// run as a parallel partial-sum pass plus an ordered corner sweep
+/// (ws.lower_acc is the scratch). Every row's accumulation is
+/// `rhs(r) - <fixed CSR-order partial sums>` — bitwise-identical across all
+/// rhs functors that return the same values.
+template <class RhsFn>
+void forward_sweep(const Factorization& f, RhsFn rhs, std::span<value_t> x,
+                   SolveWorkspace& ws) {
+  const CsrMatrix& lu = f.lu;
+  const index_t n = f.n();
+  const index_t n_upper = f.plan.n_upper;
+  const index_t n_lower = n - n_upper;
+
+  // Upper-stage rows: same schedule, same spin-waits as the factorization.
+  // lower_partial reads only columns < r, whose completion the schedule's
+  // waits guarantee.
+  p2p_execute(
+      f.fwd,
+      [&](index_t r, int) {
+        x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, r, x, 0);
+      },
+      ws.progress);
+
+  if (n_lower == 0) return;
+  if (f.fwd.threads <= 1 || n_lower < 64) {
+    // Small tail: plain ordered sweep (corner coupling resolved in order).
+    for (index_t r = n_upper; r < n; ++r) {
+      x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, n, x, 0);
+    }
+    return;
+  }
+  // ER-style tail: the upper-column products of the moved rows are mutually
+  // independent once the upper stage finished — accumulate them in parallel,
+  // then resolve the (small) corner coupling in row order.
+  if (ws.lower_acc.size() < static_cast<std::size_t>(n_lower)) {
+    ws.lower_acc.resize(static_cast<std::size_t>(n_lower));
+  }
+  std::span<value_t> acc(ws.lower_acc);
+#pragma omp parallel for schedule(static)
+  for (index_t r = n_upper; r < n; ++r) {
+    acc[static_cast<std::size_t>(r - n_upper)] =
+        lower_partial(lu, r, n_upper, x, 0);
+  }
+  for (index_t r = n_upper; r < n; ++r) {
+    x[static_cast<std::size_t>(r)] =
+        rhs(r) - corner_partial(lu, r, n_upper, x,
+                                acc[static_cast<std::size_t>(r - n_upper)]);
+  }
+}
+
+}  // namespace javelin::detail

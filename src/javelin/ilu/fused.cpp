@@ -1,0 +1,212 @@
+#include "javelin/ilu/fused.hpp"
+
+#include <algorithm>
+
+#include "javelin/ilu/forward_sweep.hpp"
+#include "javelin/ilu/trsv_kernels.hpp"
+#include "javelin/sparse/ops.hpp"
+#include "javelin/sparse/spmv.hpp"
+#include "javelin/support/parallel.hpp"
+
+namespace javelin {
+
+using detail::backward_row;
+using detail::lower_partial;
+using detail::spmv_row;
+
+FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
+                                      const CsrMatrix& a, index_t chunk_rows) {
+  JAVELIN_CHECK(a.rows() == f.n() && a.cols() == f.n(),
+                "fused apply+spmv requires A with the factor's dimension");
+  FusedApplySpmv fs;
+  const int T = f.bwd.threads;
+  fs.threads = T;
+  fs.n = f.n();
+  fs.thread_ptr.assign(static_cast<std::size_t>(std::max(T, 1)) + 1, 0);
+  if (T <= 1) return fs;  // the serial path never consults the chunks
+
+  // Producer lookup: which backward item finishes each permuted row.
+  std::vector<index_t> owner, item_of;
+  f.bwd.producer_positions(owner, item_of);
+  // Column c of A is finished by permuted row to_perm[c] of the backward
+  // sweep (to_perm inverts the plan's new-to-old permutation).
+  const std::vector<index_t> to_perm = invert_permutation(f.plan.perm);
+
+  // nnz-balanced thread ranges, blocked into chunks. The chunk is the wait
+  // granule: one merged wait list amortized over chunk_rows rows.
+  const index_t chunk = std::max<index_t>(1, chunk_rows);
+  const RowPartition part = RowPartition::build(a, T);
+  for (int t = 0; t < T; ++t) {
+    const index_t lo = part.bounds[static_cast<std::size_t>(t)];
+    const index_t hi = part.bounds[static_cast<std::size_t>(t) + 1];
+    for (index_t b = lo; b < hi; b += chunk) {
+      fs.chunk_begin.push_back(b);
+      fs.chunk_end.push_back(std::min<index_t>(b + chunk, hi));
+    }
+    fs.thread_ptr[static_cast<std::size_t>(t) + 1] =
+        static_cast<index_t>(fs.chunk_begin.size());
+  }
+  // Sparsified waits via the shared schedule-builder machinery. The consumer
+  // thread has already performed every wait of its OWN backward items before
+  // it reaches the SpMV phase (program order), so those high-water marks
+  // seed the pruning.
+  const P2PSchedule& bwd = f.bwd;
+  build_sparsified_waits(
+      T, fs.thread_ptr,
+      /*seed=*/
+      [&bwd](int t, std::span<index_t> last_wait) {
+        for (index_t i = bwd.thread_ptr[static_cast<std::size_t>(t)];
+             i < bwd.thread_ptr[static_cast<std::size_t>(t) + 1]; ++i) {
+          for (index_t w = bwd.wait_ptr[static_cast<std::size_t>(i)];
+               w < bwd.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+            index_t& lw = last_wait[static_cast<std::size_t>(
+                bwd.wait_thread[static_cast<std::size_t>(w)])];
+            lw = std::max(lw, bwd.wait_count[static_cast<std::size_t>(w)]);
+          }
+        }
+      },
+      [&](int t, index_t c,
+          const std::function<void(index_t, index_t)>& yield) {
+        for (index_t r = fs.chunk_begin[static_cast<std::size_t>(c)];
+             r < fs.chunk_end[static_cast<std::size_t>(c)]; ++r) {
+          for (index_t col : a.row_cols(r)) {
+            const index_t pr = to_perm[static_cast<std::size_t>(col)];
+            const index_t ot = owner[static_cast<std::size_t>(pr)];
+            JAVELIN_CHECK(ot != kInvalidIndex,
+                          "backward schedule does not cover every row");
+            if (ot == static_cast<index_t>(t)) continue;
+            yield(ot, item_of[static_cast<std::size_t>(pr)] + 1);
+          }
+        }
+      },
+      fs.wait_ptr, fs.wait_thread, fs.wait_count, fs.deps_total,
+      fs.deps_kept);
+  return fs;
+}
+
+namespace {
+
+/// Forward sweep with the rhs gather folded into each row: on exit
+/// L x = P r, without the separate permute-in pass. The shared forward_sweep
+/// makes this bitwise-identical to trsv_forward on a pre-gathered x by
+/// construction.
+void fused_forward(const Factorization& f, std::span<const value_t> rv,
+                   std::span<value_t> x, SolveWorkspace& ws) {
+  const auto& perm = f.plan.perm;
+  detail::forward_sweep(
+      f,
+      [&rv, &perm](index_t r) {
+        return rv[static_cast<std::size_t>(perm[static_cast<std::size_t>(r)])];
+      },
+      x, ws);
+}
+
+/// Straight-line backward sweep (scatter folded in) followed by the full
+/// SpMV — shared by the serial execution policy and the team-shrank runtime
+/// fallback so the two zero-synchronization paths cannot drift apart.
+void serial_backward_spmv(const Factorization& f, const CsrMatrix& a,
+                          std::span<value_t> x, std::span<value_t> z,
+                          std::span<value_t> t) {
+  const auto& perm = f.plan.perm;
+  for (index_t row : f.bwd.serial_order) {
+    backward_row(f.lu, f.diag_pos, row, x);
+    z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+        x[static_cast<std::size_t>(row)];
+  }
+  for (index_t row = 0; row < a.rows(); ++row) {
+    t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+  }
+}
+
+}  // namespace
+
+void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
+                    const FusedApplySpmv& fs, std::span<const value_t> r,
+                    std::span<value_t> z, std::span<value_t> t,
+                    SolveWorkspace& ws) {
+  const index_t n = f.n();
+  JAVELIN_CHECK(fs.n == n && fs.threads == f.bwd.threads,
+                "fused schedule does not match this factorization");
+  ws.resize(n, f.plan.num_lower_rows());
+  const auto& perm = f.plan.perm;
+  const CsrMatrix& lu = f.lu;
+  std::span<value_t> x(ws.x);
+  const P2PSchedule& s = f.bwd;
+
+  if (s.threads <= 1 || (fs.auto_serial && team_oversubscribed(s.threads))) {
+    // Serial single-sweep policy: planned-team spin scheduling cannot win
+    // without real cores, so run gather+forward, backward+scatter and the
+    // SpMV as straight-line sweeps with zero synchronization. Same
+    // accumulation orders — bitwise-identical to the scheduled path.
+    for (index_t row = 0; row < n; ++row) {
+      x[static_cast<std::size_t>(row)] =
+          r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] -
+          lower_partial(lu, row, n, x, 0);
+    }
+    serial_backward_spmv(f, a, x, z, t);
+    return;
+  }
+
+  fused_forward(f, r, x, ws);
+
+  bool fallback = false;
+  {
+    ProgressCounters& progress = ws.progress;
+    if (progress.num_threads() < s.threads) {
+      progress.reset(s.threads);
+    } else {
+      progress.rearm();
+    }
+    // One region for the backward sweep AND the SpMV: each thread solves its
+    // backward items (scattering finished entries straight into z), then
+    // streams its A-row chunks behind the sweep on the same counters.
+#pragma omp parallel num_threads(s.threads)
+    {
+      // Uniform team-size verdict, no single+barrier round (see
+      // p2p_execute).
+      if (team_size() < s.threads) {
+        if (thread_id() == 0) fallback = true;  // sole writer
+      } else {
+        const int tid = thread_id();
+        const int spin_budget = spin_budget_for(s.threads);
+        index_t done = 0;
+        for (index_t i = s.thread_ptr[static_cast<std::size_t>(tid)];
+             i < s.thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
+          for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
+               w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+            progress.wait_for(
+                static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
+                s.wait_count[static_cast<std::size_t>(w)], spin_budget);
+          }
+          for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
+               k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            const index_t row = s.rows[static_cast<std::size_t>(k)];
+            backward_row(lu, f.diag_pos, row, x);
+            z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+                x[static_cast<std::size_t>(row)];
+          }
+          ++done;
+          progress.publish(tid, done);
+        }
+        for (index_t c = fs.thread_ptr[static_cast<std::size_t>(tid)];
+             c < fs.thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
+          for (index_t w = fs.wait_ptr[static_cast<std::size_t>(c)];
+               w < fs.wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
+            progress.wait_for(
+                static_cast<int>(fs.wait_thread[static_cast<std::size_t>(w)]),
+                fs.wait_count[static_cast<std::size_t>(w)], spin_budget);
+          }
+          for (index_t row = fs.chunk_begin[static_cast<std::size_t>(c)];
+               row < fs.chunk_end[static_cast<std::size_t>(c)]; ++row) {
+            t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+          }
+        }
+      }
+    }
+  }
+  if (fallback) {
+    serial_backward_spmv(f, a, x, z, t);
+  }
+}
+
+}  // namespace javelin

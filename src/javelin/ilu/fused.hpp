@@ -1,0 +1,86 @@
+// Fused preconditioner-apply + SpMV: the Krylov inner loop's hot pair
+// z = (LU)^{-1} r followed by t = A z, executed as ONE scheduled pass
+// (paper §VI: the iterative phase — apply plus matvec, every iteration —
+// dominates end-to-end time).
+//
+// Three fusions, all bitwise-neutral:
+//   * the rhs gather x = P r is folded into each forward-sweep row
+//     (no permute-in pass),
+//   * the solution scatter z = Pᵀ x is folded into each backward-sweep row
+//     (no permute-out pass),
+//   * the SpMV is streamed BEHIND the backward sweep inside the same
+//     parallel region: each thread, after finishing its backward items,
+//     processes its A-row chunks, each guarded by sparsified spin-waits on
+//     the SAME ProgressCounters the backward sweep publishes — rows whose
+//     column dependencies are satisfied start multiplying while other
+//     threads are still solving. No barrier, no second kernel launch.
+//
+// Per Krylov iteration this removes one full pass over the vectors (the
+// permute-out), two parallel-region fork/joins and the solve→SpMV barrier,
+// while every row keeps its fixed CSR-order accumulation — the fused and
+// unfused paths are bitwise-identical at any thread count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "javelin/ilu/factorization.hpp"
+#include "javelin/ilu/solve.hpp"
+
+namespace javelin {
+
+/// Build-once companion of a (Factorization, A) pair: the SpMV phase of the
+/// fused pass. A's rows are nnz-balanced across the backward schedule's
+/// threads and blocked into chunks; each chunk stores the pruned wait list
+/// (producer thread, backward item count) covering every column it reads.
+struct FusedApplySpmv {
+  int threads = 1;
+  index_t n = 0;
+
+  /// Thread t multiplies chunks [thread_ptr[t], thread_ptr[t+1]); chunk c
+  /// covers A rows [chunk_begin[c], chunk_end[c]).
+  std::vector<index_t> thread_ptr;
+  std::vector<index_t> chunk_begin;
+  std::vector<index_t> chunk_end;
+
+  /// Sparsified waits per chunk, on the BACKWARD schedule's item counters:
+  /// before chunk c, wait until wait_thread[w] has published wait_count[w]
+  /// backward items, for w in [wait_ptr[c], wait_ptr[c+1]).
+  std::vector<index_t> wait_ptr;
+  std::vector<index_t> wait_thread;
+  std::vector<index_t> wait_count;
+
+  /// Execution-policy autotune (first slice of ROADMAP's thread-count
+  /// autotuning): when true and the planned team would OVERSUBSCRIBE the
+  /// hardware, ilu_apply_spmv runs the whole fused pass as one serial sweep
+  /// — P2P spin scheduling needs real cores, and the serial sweep is
+  /// bitwise-identical (asserted by test_fused), so only latency changes.
+  /// Tests pin this to false to force the scheduled path.
+  bool auto_serial = true;
+
+  // --- statistics ----------------------------------------------------------
+  index_t deps_total = 0;  ///< cross-thread column dependencies before pruning
+  index_t deps_kept = 0;   ///< spin-waits actually stored
+
+  index_t num_chunks() const noexcept {
+    return static_cast<index_t>(chunk_begin.size());
+  }
+};
+
+/// Build the fused-SpMV companion for factor `f` and matrix `a` (square,
+/// same dimension as the factor; in Krylov use `a` is the matrix `f` was
+/// factored from). `chunk_rows` bounds the rows per SpMV chunk.
+FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
+                                      const CsrMatrix& a,
+                                      index_t chunk_rows = 1024);
+
+/// z = (LU)^{-1} r and t = A z in one fused pass. r, z and t are in the
+/// ORIGINAL row ordering and must not alias each other. Bitwise-identical to
+/// `ilu_apply(f, r, z, ws)` followed by `spmv(a, part, z, t)` at any thread
+/// count. Thread-safe across distinct workspaces.
+void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
+                    const FusedApplySpmv& fs, std::span<const value_t> r,
+                    std::span<value_t> z, std::span<value_t> t,
+                    SolveWorkspace& ws);
+
+}  // namespace javelin

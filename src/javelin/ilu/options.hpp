@@ -49,6 +49,11 @@ struct IluOptions {
   double relative_location = 0.5;
   /// SR tile size: target nonzeros per tile/task.
   index_t sr_tile_nnz = 256;
+  /// Rows per point-to-point schedule item (blocked trsv/factorization):
+  /// each item issues one merged wait list and one counter publish for the
+  /// whole row block, amortizing the spin-wait checks inside a level.
+  /// Chunks never cross a level boundary. <= 0 means the built-in default.
+  index_t p2p_chunk_rows = 0;
   /// Factor the lower-stage corner block in parallel (level-scheduled)
   /// instead of serially. Default off: "for most matrices, serial seems to
   /// be good enough" (paper §III-B).

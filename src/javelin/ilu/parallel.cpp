@@ -346,9 +346,11 @@ Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
   // Plan-time scatter map: every ilu_refactor becomes a flat O(nnz) copy.
   build_scatter_map(f, a);
 
+  const index_t chunk =
+      opts.p2p_chunk_rows > 0 ? opts.p2p_chunk_rows : kDefaultChunkRows;
   f.fwd = build_upper_forward_schedule(f.lu, f.plan.upper_level_ptr,
-                                       f.plan.threads);
-  f.bwd = build_backward_schedule(f.lu, f.plan.threads);
+                                       f.plan.threads, chunk);
+  f.bwd = build_backward_schedule(f.lu, f.plan.threads, chunk);
   if (f.plan.method == LowerMethod::kSegmentedRows) {
     f.sr = build_sr_tiling(f.lu, f.plan, opts.sr_tile_nnz);
   }

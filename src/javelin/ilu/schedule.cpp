@@ -6,88 +6,66 @@
 
 namespace javelin {
 
-P2PSchedule build_p2p_schedule(index_t n_total,
-                               std::span<const index_t> level_ptr,
-                               std::span<const index_t> rows_by_level,
-                               const DepsFn& deps, int threads) {
-  P2PSchedule s;
-  s.threads = std::max(1, threads);
-  s.n_total = n_total;
-  s.num_levels = static_cast<index_t>(level_ptr.size()) - 1;
-  s.serial_order.assign(rows_by_level.begin(), rows_by_level.end());
-
-  const index_t n_rows = static_cast<index_t>(rows_by_level.size());
-  const int T = s.threads;
-
-  // Pass 1: assign each level's rows to threads in contiguous slices and
-  // record (owner, position) per row. Position is the 0-based index within
-  // the owner's execution order.
-  std::vector<index_t> owner(static_cast<std::size_t>(n_total), kInvalidIndex);
-  std::vector<index_t> posn(static_cast<std::size_t>(n_total), kInvalidIndex);
-  std::vector<index_t> per_thread_count(static_cast<std::size_t>(T), 0);
-
-  // Count rows per thread first to size the per-thread lists.
-  for (index_t l = 0; l < s.num_levels; ++l) {
-    const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] -
-                        level_ptr[static_cast<std::size_t>(l)];
-    for (int t = 0; t < T; ++t) {
-      per_thread_count[static_cast<std::size_t>(t)] += partition_range(lsz, T, t).size();
-    }
-  }
-  s.thread_ptr.assign(static_cast<std::size_t>(T) + 1, 0);
-  for (int t = 0; t < T; ++t) {
-    s.thread_ptr[static_cast<std::size_t>(t) + 1] =
-        s.thread_ptr[static_cast<std::size_t>(t)] + per_thread_count[static_cast<std::size_t>(t)];
-  }
-  s.rows.assign(static_cast<std::size_t>(n_rows), kInvalidIndex);
-  std::vector<index_t> cursor(s.thread_ptr.begin(), s.thread_ptr.end() - 1);
-  for (index_t l = 0; l < s.num_levels; ++l) {
-    const index_t base = level_ptr[static_cast<std::size_t>(l)];
-    const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] - base;
-    for (int t = 0; t < T; ++t) {
-      const Range rr = partition_range(lsz, T, t);
-      for (index_t i = rr.begin; i < rr.end; ++i) {
-        const index_t row = rows_by_level[static_cast<std::size_t>(base + i)];
-        const index_t p = cursor[static_cast<std::size_t>(t)]++;
-        s.rows[static_cast<std::size_t>(p)] = row;
+void P2PSchedule::producer_positions(std::vector<index_t>& owner,
+                                     std::vector<index_t>& item_of) const {
+  owner.assign(static_cast<std::size_t>(n_total), kInvalidIndex);
+  item_of.assign(static_cast<std::size_t>(n_total), kInvalidIndex);
+  for (int t = 0; t < threads; ++t) {
+    for (index_t i = thread_ptr[static_cast<std::size_t>(t)];
+         i < thread_ptr[static_cast<std::size_t>(t) + 1]; ++i) {
+      for (index_t k = item_ptr[static_cast<std::size_t>(i)];
+           k < item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const index_t row = rows[static_cast<std::size_t>(k)];
         owner[static_cast<std::size_t>(row)] = static_cast<index_t>(t);
-        posn[static_cast<std::size_t>(row)] = p - s.thread_ptr[static_cast<std::size_t>(t)];
+        item_of[static_cast<std::size_t>(row)] =
+            i - thread_ptr[static_cast<std::size_t>(t)];
       }
     }
   }
+}
 
-  // Pass 2: per consumer thread, walk its rows in execution order keeping
-  // the monotone high-water mark already waited for on every producer; store
-  // only waits that raise it.
-  s.wait_ptr.assign(static_cast<std::size_t>(n_rows) + 1, 0);
-  std::vector<index_t> need(static_cast<std::size_t>(T), 0);       // per-row max need
+void build_sparsified_waits(int threads,
+                            std::span<const index_t> consumer_thread_ptr,
+                            const WaitSeedFn& seed, const WaitDepsFn& deps,
+                            std::vector<index_t>& wait_ptr,
+                            std::vector<index_t>& wait_thread,
+                            std::vector<index_t>& wait_count,
+                            index_t& deps_total, index_t& deps_kept) {
+  const int T = threads;
+  const index_t n_consumers = consumer_thread_ptr[static_cast<std::size_t>(T)];
+  wait_ptr.assign(static_cast<std::size_t>(n_consumers) + 1, 0);
+  wait_thread.clear();
+  wait_count.clear();
+  deps_total = 0;
+  deps_kept = 0;
+
+  // Per-consumer dedup (gen-stamped max need per producer) feeding a
+  // per-thread monotone high-water prune: a wait is stored only when it
+  // raises what this consumer thread has already waited for on that
+  // producer. Pass 0 counts, pass 1 fills.
+  std::vector<index_t> need(static_cast<std::size_t>(T), 0);
   std::vector<std::uint64_t> need_stamp(static_cast<std::size_t>(T), 0);
   std::uint64_t gen = 0;
   std::vector<index_t> touched;
   std::vector<index_t> last_wait(static_cast<std::size_t>(T), 0);
 
-  // First sub-pass counts, second fills; share the logic.
   for (int pass = 0; pass < 2; ++pass) {
     if (pass == 1) {
-      // prefix-sum wait_ptr and allocate
-      for (std::size_t i = 1; i < s.wait_ptr.size(); ++i) {
-        s.wait_ptr[i] += s.wait_ptr[i - 1];
+      for (std::size_t i = 1; i < wait_ptr.size(); ++i) {
+        wait_ptr[i] += wait_ptr[i - 1];
       }
-      s.wait_thread.assign(static_cast<std::size_t>(s.wait_ptr.back()), 0);
-      s.wait_count.assign(static_cast<std::size_t>(s.wait_ptr.back()), 0);
+      wait_thread.assign(static_cast<std::size_t>(wait_ptr.back()), 0);
+      wait_count.assign(static_cast<std::size_t>(wait_ptr.back()), 0);
     }
     for (int t = 0; t < T; ++t) {
       std::fill(last_wait.begin(), last_wait.end(), 0);
-      for (index_t i = s.thread_ptr[static_cast<std::size_t>(t)];
-           i < s.thread_ptr[static_cast<std::size_t>(t) + 1]; ++i) {
-        const index_t row = s.rows[static_cast<std::size_t>(i)];
+      if (seed) seed(t, last_wait);
+      for (index_t c = consumer_thread_ptr[static_cast<std::size_t>(t)];
+           c < consumer_thread_ptr[static_cast<std::size_t>(t) + 1]; ++c) {
         ++gen;
         touched.clear();
-        deps(row, [&](index_t d) {
-          const index_t ot = owner[static_cast<std::size_t>(d)];
-          if (ot == kInvalidIndex || ot == static_cast<index_t>(t)) return;
-          if (pass == 0) ++s.deps_total;
-          const index_t cnt = posn[static_cast<std::size_t>(d)] + 1;
+        deps(t, c, [&](index_t ot, index_t cnt) {
+          if (pass == 0) ++deps_total;
           if (need_stamp[static_cast<std::size_t>(ot)] != gen) {
             need_stamp[static_cast<std::size_t>(ot)] = gen;
             need[static_cast<std::size_t>(ot)] = cnt;
@@ -98,36 +76,130 @@ P2PSchedule build_p2p_schedule(index_t n_total,
           }
         });
         std::sort(touched.begin(), touched.end());
-        index_t w = (pass == 1) ? s.wait_ptr[static_cast<std::size_t>(i)] : 0;
+        index_t w = (pass == 1) ? wait_ptr[static_cast<std::size_t>(c)] : 0;
         index_t kept = 0;
         for (index_t ot : touched) {
           const index_t cnt = need[static_cast<std::size_t>(ot)];
-          if (cnt <= last_wait[static_cast<std::size_t>(ot)]) continue;  // pruned
+          if (cnt <= last_wait[static_cast<std::size_t>(ot)]) continue;
           last_wait[static_cast<std::size_t>(ot)] = cnt;
           if (pass == 1) {
-            s.wait_thread[static_cast<std::size_t>(w)] = ot;
-            s.wait_count[static_cast<std::size_t>(w)] = cnt;
+            wait_thread[static_cast<std::size_t>(w)] = ot;
+            wait_count[static_cast<std::size_t>(w)] = cnt;
             ++w;
           }
           ++kept;
         }
         if (pass == 0) {
-          s.wait_ptr[static_cast<std::size_t>(i) + 1] = kept;
-          s.deps_kept += kept;
+          wait_ptr[static_cast<std::size_t>(c) + 1] = kept;
+          deps_kept += kept;
         }
       }
     }
-    if (pass == 0) {
-      // Reset stats that the counting pass accumulated so the fill pass does
-      // not double them (deps_total only counted in pass 0 by design).
+  }
+}
+
+P2PSchedule build_p2p_schedule(index_t n_total,
+                               std::span<const index_t> level_ptr,
+                               std::span<const index_t> rows_by_level,
+                               const DepsFn& deps, int threads,
+                               index_t chunk_rows) {
+  P2PSchedule s;
+  s.threads = std::max(1, threads);
+  s.n_total = n_total;
+  s.num_levels = static_cast<index_t>(level_ptr.size()) - 1;
+  s.serial_order.assign(rows_by_level.begin(), rows_by_level.end());
+
+  const index_t chunk = std::max<index_t>(1, chunk_rows);
+  const index_t n_rows = static_cast<index_t>(rows_by_level.size());
+  const int T = s.threads;
+
+  // Pass 1: assign each level's rows to threads in contiguous slices, block
+  // each (level, thread) slice into items of up to `chunk` rows, and record
+  // (owner, item position) per row. Chunks never cross a level boundary —
+  // that keeps every item's dependencies in strictly earlier items on every
+  // thread (deadlock freedom).
+  std::vector<index_t> row_count(static_cast<std::size_t>(T), 0);
+  std::vector<index_t> item_count(static_cast<std::size_t>(T), 0);
+  for (index_t l = 0; l < s.num_levels; ++l) {
+    const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] -
+                        level_ptr[static_cast<std::size_t>(l)];
+    for (int t = 0; t < T; ++t) {
+      const index_t r = partition_range(lsz, T, t).size();
+      row_count[static_cast<std::size_t>(t)] += r;
+      item_count[static_cast<std::size_t>(t)] += (r + chunk - 1) / chunk;
     }
   }
+  std::vector<index_t> row_base(static_cast<std::size_t>(T) + 1, 0);
+  s.thread_ptr.assign(static_cast<std::size_t>(T) + 1, 0);
+  for (int t = 0; t < T; ++t) {
+    row_base[static_cast<std::size_t>(t) + 1] =
+        row_base[static_cast<std::size_t>(t)] + row_count[static_cast<std::size_t>(t)];
+    s.thread_ptr[static_cast<std::size_t>(t) + 1] =
+        s.thread_ptr[static_cast<std::size_t>(t)] + item_count[static_cast<std::size_t>(t)];
+  }
+  const index_t n_items = s.thread_ptr.back();
+  s.rows.assign(static_cast<std::size_t>(n_rows), kInvalidIndex);
+  s.item_ptr.assign(static_cast<std::size_t>(n_items) + 1, 0);
+
+  std::vector<index_t> owner(static_cast<std::size_t>(n_total), kInvalidIndex);
+  std::vector<index_t> posn(static_cast<std::size_t>(n_total), kInvalidIndex);
+  std::vector<index_t> rcursor(row_base.begin(), row_base.end() - 1);
+  std::vector<index_t> icursor(s.thread_ptr.begin(), s.thread_ptr.end() - 1);
+  for (index_t l = 0; l < s.num_levels; ++l) {
+    const index_t base = level_ptr[static_cast<std::size_t>(l)];
+    const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] - base;
+    for (int t = 0; t < T; ++t) {
+      const Range rr = partition_range(lsz, T, t);
+      for (index_t idx = rr.begin; idx < rr.end;) {
+        const index_t take = std::min<index_t>(chunk, rr.end - idx);
+        const index_t item = icursor[static_cast<std::size_t>(t)]++;
+        for (index_t i = 0; i < take; ++i) {
+          const index_t row = rows_by_level[static_cast<std::size_t>(base + idx + i)];
+          const index_t p = rcursor[static_cast<std::size_t>(t)]++;
+          s.rows[static_cast<std::size_t>(p)] = row;
+          owner[static_cast<std::size_t>(row)] = static_cast<index_t>(t);
+          posn[static_cast<std::size_t>(row)] =
+              item - s.thread_ptr[static_cast<std::size_t>(t)];
+        }
+        s.item_ptr[static_cast<std::size_t>(item) + 1] =
+            rcursor[static_cast<std::size_t>(t)];
+        idx += take;
+      }
+    }
+  }
+  // Item start offsets: consecutive items of one thread share boundaries, so
+  // only each thread's first item start needs pinning to its row base. (A
+  // thread with no rows has row_base[t] == row_base[t+1]; the shared entry
+  // stays consistent.)
+  for (int t = 0; t < T; ++t) {
+    s.item_ptr[static_cast<std::size_t>(s.thread_ptr[static_cast<std::size_t>(t)])] =
+        row_base[static_cast<std::size_t>(t)];
+  }
+
+  // Pass 2: sparsified per-item wait lists. An item's need is the max over
+  // all its rows; same-thread and unscheduled dependencies are filtered
+  // here, the dedup + monotone pruning live in build_sparsified_waits.
+  build_sparsified_waits(
+      T, s.thread_ptr, /*seed=*/{},
+      [&](int t, index_t i,
+          const std::function<void(index_t, index_t)>& yield) {
+        for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
+             k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const index_t row = s.rows[static_cast<std::size_t>(k)];
+          deps(row, [&](index_t d) {
+            const index_t ot = owner[static_cast<std::size_t>(d)];
+            if (ot == kInvalidIndex || ot == static_cast<index_t>(t)) return;
+            yield(ot, posn[static_cast<std::size_t>(d)] + 1);
+          });
+        }
+      },
+      s.wait_ptr, s.wait_thread, s.wait_count, s.deps_total, s.deps_kept);
   return s;
 }
 
 P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
                                          std::span<const index_t> upper_level_ptr,
-                                         int threads) {
+                                         int threads, index_t chunk_rows) {
   const index_t n_upper = upper_level_ptr.empty() ? 0 : upper_level_ptr.back();
   // Levels are contiguous row ranges after the plan permutation; materialize
   // the identity listing.
@@ -139,10 +211,12 @@ P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
       yield(c);
     }
   };
-  return build_p2p_schedule(lu.rows(), upper_level_ptr, rows, deps, threads);
+  return build_p2p_schedule(lu.rows(), upper_level_ptr, rows, deps, threads,
+                            chunk_rows);
 }
 
-P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads) {
+P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads,
+                                    index_t chunk_rows) {
   const LevelSets ls = compute_level_sets_upper(lu);
   const DepsFn deps = [&lu](index_t row, const std::function<void(index_t)>& yield) {
     auto cols = lu.row_cols(row);
@@ -152,7 +226,7 @@ P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads) {
     }
   };
   return build_p2p_schedule(lu.rows(), ls.level_ptr, ls.rows_by_level, deps,
-                            threads);
+                            threads, chunk_rows);
 }
 
 }  // namespace javelin

@@ -8,10 +8,19 @@
 //     (its progress counter is monotone),
 //   * a dependency already implied by an earlier wait of the same consumer
 //     thread is dropped (build-time transitive pruning).
-// At runtime a row performs at most (threads - 1) spin-waits on padded
-// progress counters — no barriers, no tasks (paper: "point-to-point's
-// implementation relies on inexpensive spinlocks and allows for certain
-// threads to speed ahead of others").
+//
+// Rows are additionally blocked into ITEMS — chunks of up to chunk_rows
+// consecutive rows of one (level, thread) slice (paper §VI hints at register
+// blocking inside a level). The chunk is the synchronization granule: one
+// merged wait list up front, one counter publish at the end, so the
+// spin-wait checks and release stores are amortized over the whole block.
+// Chunks never cross a level boundary, which keeps the schedule
+// deadlock-free (an item's dependencies always live in strictly earlier
+// levels, hence strictly earlier items on every thread). At runtime an item
+// performs at most (threads - 1) spin-waits on padded progress counters — no
+// barriers, no tasks (paper: "point-to-point's implementation relies on
+// inexpensive spinlocks and allows for certain threads to speed ahead of
+// others").
 #pragma once
 
 #include <functional>
@@ -29,12 +38,15 @@ struct P2PSchedule {
   int threads = 1;
   index_t n_total = 0;  ///< dimension of the row-index space
 
-  /// Execution order: thread t runs rows[thread_ptr[t] .. thread_ptr[t+1]).
+  /// Execution order: thread t runs items [thread_ptr[t] .. thread_ptr[t+1]);
+  /// item i covers rows[item_ptr[i] .. item_ptr[i+1]) (a contiguous chunk of
+  /// one (level, thread) slice, executed in stored order).
   std::vector<index_t> thread_ptr;
+  std::vector<index_t> item_ptr;
   std::vector<index_t> rows;
 
-  /// Sparsified waits, aligned with `rows`: before executing rows[i], wait
-  /// until wait_thread[w] has published wait_count[w] rows, for
+  /// Sparsified waits, per ITEM: before executing item i, wait until
+  /// wait_thread[w] has published wait_count[w] items, for
   /// w in [wait_ptr[i], wait_ptr[i+1]).
   std::vector<index_t> wait_ptr;
   std::vector<index_t> wait_thread;
@@ -50,6 +62,17 @@ struct P2PSchedule {
   index_t num_levels = 0;
 
   index_t num_rows() const noexcept { return static_cast<index_t>(rows.size()); }
+  index_t num_items() const noexcept {
+    return item_ptr.empty() ? 0 : static_cast<index_t>(item_ptr.size()) - 1;
+  }
+
+  /// Producer lookup for consumers synchronizing against this schedule from
+  /// OUTSIDE it (the fused solve+SpMV phase): owner[r] is the executing
+  /// thread of row r (kInvalidIndex if unscheduled) and item_of[r] the
+  /// 0-based item position within that thread, i.e. a consumer must
+  /// wait_for(owner[r], item_of[r] + 1).
+  void producer_positions(std::vector<index_t>& owner,
+                          std::vector<index_t>& item_of) const;
 };
 
 /// Yields the dependency rows of a given row (rows that must complete
@@ -57,13 +80,43 @@ struct P2PSchedule {
 /// satisfied by construction — e.g. upper-stage rows for the corner).
 using DepsFn = std::function<void(index_t row, const std::function<void(index_t)>& yield)>;
 
+/// Build-time helper shared by the schedule builder and the fused-SpMV
+/// companion (build_fused_apply_spmv): two-pass (count, fill) sparsified
+/// wait-list construction with monotone per-producer high-water pruning.
+/// Thread t executes consumers [consumer_thread_ptr[t],
+/// consumer_thread_ptr[t+1]) in order. `seed` pre-loads the thread's
+/// high-water marks with counts it has already waited for before its first
+/// consumer (empty function = none). `deps(t, c, yield)` enumerates consumer
+/// c's CROSS-thread dependencies as (producer thread, required published
+/// count) — same-thread dependencies must be filtered by the caller. On
+/// return wait_ptr/wait_thread/wait_count hold the pruned CSR-style wait
+/// lists and deps_total/deps_kept the before/after dependency counts.
+using WaitSeedFn = std::function<void(int t, std::span<index_t> last_wait)>;
+using WaitDepsFn = std::function<void(
+    int t, index_t consumer,
+    const std::function<void(index_t producer_thread, index_t count)>& yield)>;
+
+void build_sparsified_waits(int threads,
+                            std::span<const index_t> consumer_thread_ptr,
+                            const WaitSeedFn& seed, const WaitDepsFn& deps,
+                            std::vector<index_t>& wait_ptr,
+                            std::vector<index_t>& wait_thread,
+                            std::vector<index_t>& wait_count,
+                            index_t& deps_total, index_t& deps_kept);
+
+/// Default rows per item; the sweep kernels are memory-bound, so a modest
+/// block already hides the wait/publish latency without delaying consumers.
+inline constexpr index_t kDefaultChunkRows = 32;
+
 /// Build a schedule from explicit level sets (level-major lists of rows).
 /// `levels_rows` / `levels_ptr` follow the LevelSets layout. `deps` is
-/// consulted once per row at build time.
+/// consulted once per row at build time. `chunk_rows` bounds the rows per
+/// item (blocking granule); values < 1 are clamped to 1.
 P2PSchedule build_p2p_schedule(index_t n_total,
                                std::span<const index_t> level_ptr,
                                std::span<const index_t> rows_by_level,
-                               const DepsFn& deps, int threads);
+                               const DepsFn& deps, int threads,
+                               index_t chunk_rows = kDefaultChunkRows);
 
 /// Forward schedule for the upper stage of a two-stage plan: rows
 /// [0, n_upper) with contiguous levels; dependencies are the strictly-lower
@@ -71,11 +124,13 @@ P2PSchedule build_p2p_schedule(index_t n_total,
 /// dependency structure — the co-design of paper §VI).
 P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
                                          std::span<const index_t> upper_level_ptr,
-                                         int threads);
+                                         int threads,
+                                         index_t chunk_rows = kDefaultChunkRows);
 
 /// Backward schedule over ALL rows: dependencies are the strictly-upper
 /// columns of `lu`; levels computed on that pattern, processed high-to-low.
-P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads);
+P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads,
+                                    index_t chunk_rows = kDefaultChunkRows);
 
 /// Execute the schedule with caller-provided progress counters. `row_fn(row,
 /// thread)` is called once per row, in dependency order, from inside a
@@ -102,23 +157,28 @@ void p2p_execute(const P2PSchedule& s, RowFn&& row_fn,
   bool fallback = false;
 #pragma omp parallel num_threads(s.threads)
   {
-#pragma omp single
-    {
-      if (team_size() < s.threads) fallback = true;
-    }
-    // (implicit barrier after single)
-    if (!fallback) {
+    // team_size() is uniform across the team, so every thread reaches the
+    // same verdict locally — no single+barrier round just to agree on it.
+    if (team_size() < s.threads) {
+      if (thread_id() == 0) fallback = true;  // sole writer
+    } else {
       const int t = thread_id();
+      const int spin_budget = spin_budget_for(s.threads);
       const index_t lo = s.thread_ptr[static_cast<std::size_t>(t)];
       const index_t hi = s.thread_ptr[static_cast<std::size_t>(t) + 1];
       index_t done = 0;
       for (index_t i = lo; i < hi; ++i) {
+        // One merged wait list, then the whole row block — the spin-wait
+        // checks and the release store are amortized over chunk_rows rows.
         for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
              w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
           progress.wait_for(static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
-                            s.wait_count[static_cast<std::size_t>(w)]);
+                            s.wait_count[static_cast<std::size_t>(w)], spin_budget);
         }
-        row_fn(s.rows[static_cast<std::size_t>(i)], t);
+        for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
+             k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          row_fn(s.rows[static_cast<std::size_t>(k)], t);
+        }
         ++done;
         progress.publish(t, done);
       }

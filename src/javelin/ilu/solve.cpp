@@ -1,58 +1,14 @@
 #include "javelin/ilu/solve.hpp"
 
+#include "javelin/ilu/forward_sweep.hpp"
+#include "javelin/ilu/trsv_kernels.hpp"
 #include "javelin/support/parallel.hpp"
 
 namespace javelin {
 
-namespace {
-
-/// Partial sum of row r over its strictly-lower columns left of `col_hi`,
-/// starting from `acc`. Columns are sorted, so this is a prefix walk.
-inline value_t lower_partial(const CsrMatrix& lu, index_t r, index_t col_hi,
-                             std::span<const value_t> x, value_t acc) {
-  const auto ci = lu.col_idx();
-  const auto vv = lu.values();
-  for (index_t k = lu.row_begin(r); k < lu.row_end(r); ++k) {
-    const index_t c = ci[static_cast<std::size_t>(k)];
-    if (c >= col_hi || c >= r) break;
-    acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(c)];
-  }
-  return acc;
-}
-
-/// Remaining forward sum of a lower-stage row: corner columns in
-/// [n_upper, r). Resumes from the precomputed upper-column partial sum so the
-/// accumulation order matches the serial single-pass reference bitwise.
-inline value_t corner_partial(const CsrMatrix& lu, index_t r, index_t n_upper,
-                              std::span<const value_t> x, value_t acc) {
-  const auto ci = lu.col_idx();
-  const auto vv = lu.values();
-  for (index_t k = lu.row_begin(r); k < lu.row_end(r); ++k) {
-    const index_t c = ci[static_cast<std::size_t>(k)];
-    if (c >= r) break;
-    if (c < n_upper) continue;
-    acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(c)];
-  }
-  return acc;
-}
-
-/// Backward step for one row: subtract the strictly-upper products and divide
-/// by the diagonal (the fused scale).
-inline void backward_row(const CsrMatrix& lu, std::span<const index_t> diag_pos,
-                         index_t r, std::span<value_t> x) {
-  const auto ci = lu.col_idx();
-  const auto vv = lu.values();
-  const index_t dp = diag_pos[static_cast<std::size_t>(r)];
-  value_t acc = 0;
-  for (index_t k = dp + 1; k < lu.row_end(r); ++k) {
-    acc += vv[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
-  }
-  x[static_cast<std::size_t>(r)] =
-      (x[static_cast<std::size_t>(r)] - acc) / vv[static_cast<std::size_t>(dp)];
-}
-
-}  // namespace
+using detail::backward_row;
+using detail::corner_partial;
+using detail::lower_partial;
 
 void trsv_serial(const CsrMatrix& lu, std::span<const index_t> diag_pos,
                  std::span<const value_t> b, std::span<value_t> x) {
@@ -68,45 +24,11 @@ void trsv_serial(const CsrMatrix& lu, std::span<const index_t> diag_pos,
 
 void trsv_forward(const Factorization& f, std::span<value_t> x,
                   SolveWorkspace& ws) {
-  const CsrMatrix& lu = f.lu;
-  const index_t n = f.n();
-  const index_t n_upper = f.plan.n_upper;
-  const index_t n_lower = n - n_upper;
-
-  // Upper-stage rows: same schedule, same spin-waits as the factorization.
-  // x[r] holds the rhs on entry; lower_partial reads only columns < r, whose
-  // completion the schedule's waits guarantee.
-  p2p_execute(
-      f.fwd,
-      [&](index_t r, int) {
-        x[static_cast<std::size_t>(r)] -= lower_partial(lu, r, r, x, 0);
-      },
-      ws.progress);
-
-  if (n_lower == 0) return;
-  if (f.fwd.threads <= 1 || n_lower < 64) {
-    // Small tail: plain ordered sweep (corner coupling resolved in order).
-    for (index_t r = n_upper; r < n; ++r) {
-      x[static_cast<std::size_t>(r)] -= lower_partial(lu, r, n, x, 0);
-    }
-    return;
-  }
-  // ER-style tail: the upper-column products of the moved rows are mutually
-  // independent once the upper stage finished — accumulate them in parallel,
-  // then resolve the (small) corner coupling in row order.
-  if (ws.lower_acc.size() < static_cast<std::size_t>(n_lower)) {
-    ws.lower_acc.resize(static_cast<std::size_t>(n_lower));
-  }
-  std::span<value_t> acc(ws.lower_acc);
-#pragma omp parallel for schedule(static)
-  for (index_t r = n_upper; r < n; ++r) {
-    acc[static_cast<std::size_t>(r - n_upper)] =
-        lower_partial(lu, r, n_upper, x, 0);
-  }
-  for (index_t r = n_upper; r < n; ++r) {
-    x[static_cast<std::size_t>(r)] -= corner_partial(
-        lu, r, n_upper, x, acc[static_cast<std::size_t>(r - n_upper)]);
-  }
+  // In-place: x[r] holds the permuted rhs on entry, read before the row's
+  // slot is overwritten (x[r] = rhs - acc is the same subtraction as the
+  // historical x[r] -= acc, bitwise).
+  detail::forward_sweep(
+      f, [&x](index_t r) { return x[static_cast<std::size_t>(r)]; }, x, ws);
 }
 
 void trsv_backward(const Factorization& f, std::span<value_t> x,

@@ -1,0 +1,73 @@
+// Per-row building blocks of the triangular sweeps, shared by the unfused
+// solve path (solve.cpp) and the fused solve+SpMV path (fused.cpp). Every
+// helper walks its CSR entries in ascending order and touches exactly one
+// output slot, which is what makes all execution modes bitwise-identical.
+#pragma once
+
+#include <span>
+
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin::detail {
+
+/// Partial sum of row r over its strictly-lower columns left of `col_hi`,
+/// starting from `acc`. Columns are sorted, so this is a prefix walk.
+inline value_t lower_partial(const CsrMatrix& lu, index_t r, index_t col_hi,
+                             std::span<const value_t> x, value_t acc) {
+  const auto ci = lu.col_idx();
+  const auto vv = lu.values();
+  for (index_t k = lu.row_begin(r); k < lu.row_end(r); ++k) {
+    const index_t c = ci[static_cast<std::size_t>(k)];
+    if (c >= col_hi || c >= r) break;
+    acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(c)];
+  }
+  return acc;
+}
+
+/// Remaining forward sum of a lower-stage row: corner columns in
+/// [n_upper, r). Resumes from the precomputed upper-column partial sum so the
+/// accumulation order matches the serial single-pass reference bitwise.
+inline value_t corner_partial(const CsrMatrix& lu, index_t r, index_t n_upper,
+                              std::span<const value_t> x, value_t acc) {
+  const auto ci = lu.col_idx();
+  const auto vv = lu.values();
+  for (index_t k = lu.row_begin(r); k < lu.row_end(r); ++k) {
+    const index_t c = ci[static_cast<std::size_t>(k)];
+    if (c >= r) break;
+    if (c < n_upper) continue;
+    acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(c)];
+  }
+  return acc;
+}
+
+/// Backward step for one row: subtract the strictly-upper products and divide
+/// by the diagonal (the fused scale).
+inline void backward_row(const CsrMatrix& lu, std::span<const index_t> diag_pos,
+                         index_t r, std::span<value_t> x) {
+  const auto ci = lu.col_idx();
+  const auto vv = lu.values();
+  const index_t dp = diag_pos[static_cast<std::size_t>(r)];
+  value_t acc = 0;
+  for (index_t k = dp + 1; k < lu.row_end(r); ++k) {
+    acc += vv[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+  }
+  x[static_cast<std::size_t>(r)] =
+      (x[static_cast<std::size_t>(r)] - acc) / vv[static_cast<std::size_t>(dp)];
+}
+
+/// One CSR row of y = A x: fixed ascending-k accumulation (the bitwise
+/// contract every spmv variant in the library honors).
+inline value_t spmv_row(const CsrMatrix& a, index_t r,
+                        std::span<const value_t> x) {
+  const auto ci = a.col_idx();
+  const auto vv = a.values();
+  value_t acc = 0;
+  for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+    acc += vv[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+  }
+  return acc;
+}
+
+}  // namespace javelin::detail

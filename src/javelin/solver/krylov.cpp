@@ -1,11 +1,56 @@
 #include "javelin/solver/krylov.hpp"
 
 #include <cmath>
+#include <memory>
 
 namespace javelin {
 
+namespace {
+
+/// True relative residual ||b - A x|| / bnorm, recomputed from scratch with
+/// the partitioned SpMV (the recurrence residuals the iterations maintain
+/// are estimates; every breakdown / exit path reports this instead).
+value_t true_relative_residual(const CsrMatrix& a, const RowPartition& part,
+                               std::span<const value_t> b,
+                               std::span<const value_t> x,
+                               std::span<value_t> scratch, value_t bnorm) {
+  spmv(a, part, x, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    scratch[i] = b[i] - scratch[i];
+  }
+  return norm2(scratch) / bnorm;
+}
+
+/// The operator's shared partition, or a freshly built private one — the
+/// fused drivers run their own SpMVs (initial/restart/exit true residuals)
+/// and must not rebuild the partition per call on the hot path.
+std::shared_ptr<const RowPartition> operator_partition(
+    const KrylovOperator& op, const CsrMatrix& a) {
+  if (op.part) return op.part;
+  return std::make_shared<const RowPartition>(RowPartition::build(a));
+}
+
+}  // namespace
+
 PrecondFn identity_preconditioner() {
   return [](std::span<const value_t> r, std::span<value_t> z) { copy(r, z); };
+}
+
+KrylovOperator unfused_operator(const CsrMatrix& a, PrecondFn m) {
+  // The partition is built once and shared by every apply (the solver hot
+  // path); the partition only changes which thread computes a row, never the
+  // row's accumulation order, so results are partition-invariant bitwise.
+  auto part = std::make_shared<const RowPartition>(RowPartition::build(a));
+  KrylovOperator op;
+  op.precond = m;
+  op.apply_spmv = [&a, part, m = std::move(m)](std::span<const value_t> r,
+                                               std::span<value_t> z,
+                                               std::span<value_t> t) {
+    m(r, z);
+    spmv(a, *part, z, t);
+  };
+  op.part = std::move(part);
+  return op;
 }
 
 SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
@@ -40,9 +85,26 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
   value_t rz = dot(r, z);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
+    if (rz == 0) {
+      // Breakdown: z = M^{-1} r became orthogonal to r (indefinite A or M),
+      // so alpha would be 0 and the NEXT beta = rz_next / 0 would poison the
+      // iterate with NaN — exit with the honest residual instead.
+      res.relative_residual =
+          true_relative_residual(a, part, b, x.subspan(0, un), r, bnorm);
+      res.converged = res.relative_residual <= opts.tolerance;
+      return res;
+    }
     spmv(a, part, p, q);
     const value_t pq = dot(p, q);
-    if (pq == 0) break;  // breakdown (non-SPD input)
+    if (pq == 0) {
+      // Breakdown (non-SPD input): the recurrence residual in `r` is stale
+      // relative to the x actually returned — report the TRUE residual so
+      // callers see an honest relative_residual.
+      res.relative_residual =
+          true_relative_residual(a, part, b, x.subspan(0, un), r, bnorm);
+      res.converged = res.relative_residual <= opts.tolerance;
+      return res;
+    }
     const value_t alpha = rz / pq;
     axpy(alpha, p, x.subspan(0, un));
     axpy(-alpha, q, r);
@@ -63,14 +125,96 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
   return res;
 }
 
+SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
+                       std::span<value_t> x, const KrylovOperator& op,
+                       const SolverOptions& opts) {
+  JAVELIN_CHECK(a.square(), "pcg requires a square matrix");
+  const index_t n = a.rows();
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::shared_ptr<const RowPartition> part_ptr = operator_partition(op, a);
+  const RowPartition& part = *part_ptr;
+
+  std::vector<value_t> r(un), z(un), t(un), p(un), q(un);
+  SolverResult res;
+
+  const value_t bnorm = norm2(b.subspan(0, un));
+  if (bnorm == 0) {
+    fill(x.subspan(0, un), 0);
+    res.converged = true;
+    return res;
+  }
+
+  // r = b - A x
+  spmv(a, part, x, r);
+  for (std::size_t i = 0; i < un; ++i) r[i] = b[i] - r[i];
+  res.relative_residual = norm2(r) / bnorm;
+  if (res.relative_residual <= opts.tolerance) {
+    res.converged = true;  // warm start (true residual by construction)
+    return res;
+  }
+
+  // Each iteration makes ONE fused call producing z = M^{-1} r and t = A z,
+  // then maintains the direction and its image by recurrence:
+  //   beta = (r,z) / (r,z)_prev,  p = z + beta p,  q = t + beta q  (= A p).
+  // The matvec of p never runs as a separate kernel — that is the §VI
+  // fusion. Exit residuals are recomputed exactly (recurrence drift).
+  value_t rz_prev = 0;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    op.apply_spmv(r, z, t);
+    const value_t rz = dot(r, z);
+    if (rz == 0) {
+      // Breakdown: z = M^{-1} r orthogonal to r (indefinite A or M). alpha
+      // would be 0 this iteration and beta = 0 / rz (or, next iteration,
+      // rz_next / 0 = NaN) — exit with the honest residual instead.
+      res.relative_residual =
+          true_relative_residual(a, part, b, x.subspan(0, un), t, bnorm);
+      res.converged = res.relative_residual <= opts.tolerance;
+      return res;
+    }
+    if (it == 0) {
+      copy(std::span<const value_t>(z), std::span<value_t>(p));
+      copy(std::span<const value_t>(t), std::span<value_t>(q));
+    } else {
+      const value_t beta = rz / rz_prev;
+      xpby(std::span<const value_t>(z), beta, std::span<value_t>(p));
+      xpby(std::span<const value_t>(t), beta, std::span<value_t>(q));
+    }
+    rz_prev = rz;
+    const value_t pq = dot(p, q);
+    if (pq == 0) {
+      res.relative_residual =
+          true_relative_residual(a, part, b, x.subspan(0, un), t, bnorm);
+      res.converged = res.relative_residual <= opts.tolerance;
+      return res;
+    }
+    const value_t alpha = rz / pq;
+    axpy(alpha, p, x.subspan(0, un));
+    axpy(-alpha, q, r);
+    res.iterations = it + 1;
+    res.relative_residual = norm2(r) / bnorm;
+    if (res.relative_residual <= opts.tolerance) break;
+  }
+  res.relative_residual =
+      true_relative_residual(a, part, b, x.subspan(0, un), t, bnorm);
+  res.converged = res.relative_residual <= opts.tolerance;
+  return res;
+}
+
 SolverResult gmres(const CsrMatrix& a, std::span<const value_t> b,
                    std::span<value_t> x, const PrecondFn& precond,
                    const SolverOptions& opts) {
+  return gmres_fused(a, b, x, unfused_operator(a, precond), opts);
+}
+
+SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
+                         std::span<value_t> x, const KrylovOperator& op,
+                         const SolverOptions& opts) {
   JAVELIN_CHECK(a.square(), "gmres requires a square matrix");
   const index_t n = a.rows();
   const std::size_t un = static_cast<std::size_t>(n);
   const int m = std::max(1, opts.restart);
-  const RowPartition part = RowPartition::build(a);
+  const std::shared_ptr<const RowPartition> part_ptr = operator_partition(op, a);
+  const RowPartition& part = *part_ptr;
 
   SolverResult res;
   const value_t bnorm = norm2(b.subspan(0, un));
@@ -107,9 +251,8 @@ SolverResult gmres(const CsrMatrix& a, std::span<const value_t> b,
     int j = 0;
     for (; j < m && res.iterations < opts.max_iterations; ++j) {
       const std::size_t uj = static_cast<std::size_t>(j);
-      // w = A M^{-1} v_j
-      precond(v[uj], z);
-      spmv(a, part, z, w);
+      // w = A M^{-1} v_j — ONE fused pass over factor and matrix.
+      op.apply_spmv(v[uj], z, w);
       ++res.iterations;
       // Modified Gram–Schmidt.
       for (int i = 0; i <= j; ++i) {
@@ -143,7 +286,13 @@ SolverResult gmres(const CsrMatrix& a, std::span<const value_t> b,
       g[uj + 1] = -sn[uj] * g[uj];
       g[uj] = cs[uj] * g[uj];
       res.relative_residual = std::abs(g[uj + 1]) / bnorm;
-      if (res.relative_residual <= opts.tolerance) {
+      if (res.relative_residual <= opts.tolerance || hnext == 0) {
+        // Converged — or a HAPPY BREAKDOWN (hnext == 0): the Krylov space
+        // became A M^{-1}-invariant, the least-squares problem is solved
+        // exactly by the current columns, and v[j+1] was never written this
+        // restart. Continuing the Arnoldi loop would orthogonalize against
+        // that stale/zero vector; keep column j (its rotation is applied)
+        // and leave the inner loop.
         ++j;
         break;
       }
@@ -164,7 +313,7 @@ SolverResult gmres(const CsrMatrix& a, std::span<const value_t> b,
       axpy(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)],
            std::span<value_t>(w));
     }
-    precond(w, z);
+    op.precond(w, z);
     axpy(1.0, z, x.subspan(0, un));
     // Loop back: the restart head recomputes the TRUE residual b - A x and
     // is the sole convergence arbiter — the rotation-recurrence estimate

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "javelin/ilu/factorization.hpp"
+#include "javelin/ilu/fused.hpp"
 #include "javelin/ilu/solve.hpp"
 #include "javelin/sparse/spmv.hpp"
 
@@ -20,6 +22,31 @@ namespace javelin {
 /// z = M^{-1} r. Spans have the system dimension and never alias.
 using PrecondFn =
     std::function<void(std::span<const value_t>, std::span<value_t>)>;
+
+/// z = M^{-1} r and t = A z in one call — the Krylov inner loop's hot pair.
+/// Spans have the system dimension and never alias.
+using ApplySpmvFn = std::function<void(
+    std::span<const value_t>, std::span<value_t>, std::span<value_t>)>;
+
+/// What the restructured Krylov inner loops consume: the fused apply+matvec
+/// for every iteration, plus the plain apply for the places a matvec is not
+/// wanted (the GMRES restart correction). Both views MUST apply the same M —
+/// the drivers assume op.apply_spmv's z equals op.precond's z bitwise.
+struct KrylovOperator {
+  PrecondFn precond;
+  ApplySpmvFn apply_spmv;
+  /// Partition of A shared with the drivers' own SpMVs (initial/restart/exit
+  /// true residuals) so they don't rebuild one per call. Optional: drivers
+  /// build a private partition when null. The partition only changes which
+  /// thread computes a row, never the row's accumulation order, so results
+  /// are partition-invariant bitwise.
+  std::shared_ptr<const RowPartition> part;
+};
+
+/// The bitwise-parity reference operator: the same M and the same A, applied
+/// as two separate kernel launches (apply, then partitioned SpMV). `a` must
+/// outlive the returned operator.
+KrylovOperator unfused_operator(const CsrMatrix& a, PrecondFn m);
 
 struct SolverOptions {
   int max_iterations = 500;
@@ -47,6 +74,25 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
 SolverResult gmres(const CsrMatrix& a, std::span<const value_t> b,
                    std::span<value_t> x, const PrecondFn& precond,
                    const SolverOptions& opts = {});
+
+/// PCG restructured around the fused apply+matvec: each iteration makes ONE
+/// call z = M^{-1} r, t = A z, then maintains p = z + β p and q = A p via
+/// the recurrence q = t + β q (exact algebra; the q update replaces the
+/// separate matvec of p). Because the recurrence can drift over many
+/// iterations, the TRUE residual b - A x is recomputed at every exit and is
+/// what `relative_residual` / `converged` report. Identical operations in
+/// identical order whether `op` is fused or unfused, so the two are
+/// bitwise-interchangeable at any thread count.
+SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
+                       std::span<value_t> x, const KrylovOperator& op,
+                       const SolverOptions& opts = {});
+
+/// Right-preconditioned GMRES(m) whose Arnoldi step consumes the fused
+/// operator: w = A M^{-1} v_j is one op.apply_spmv call. `gmres` above is
+/// exactly this driver over `unfused_operator(a, precond)`.
+SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
+                         std::span<value_t> x, const KrylovOperator& op,
+                         const SolverOptions& opts = {});
 
 /// z = r (no preconditioning).
 PrecondFn identity_preconditioner();
@@ -76,6 +122,66 @@ class IluPreconditioner {
 
  private:
   Factorization f_;
+  mutable SolveWorkspace ws_;
+};
+
+/// Factor-once packaging of the FUSED Javelin apply+SpMV path: owns the
+/// Factorization, the fused SpMV schedule built against `a`, and a
+/// SolveWorkspace, behind the KrylovOperator interface the restructured
+/// drivers consume. `a` must outlive this object (the fused pass multiplies
+/// it every iteration). Not safe for concurrent calls on one instance.
+class FusedIluOperator {
+ public:
+  FusedIluOperator(const CsrMatrix& a, const IluOptions& opts = {})
+      : a_(&a),
+        f_(ilu_factor(a, opts)),
+        fs_(build_fused_apply_spmv(f_, a)),
+        part_(std::make_shared<const RowPartition>(RowPartition::build(a))) {}
+  /// Adopt an existing factorization of `a` (e.g. after ilu_refactor).
+  FusedIluOperator(const CsrMatrix& a, Factorization f)
+      : a_(&a),
+        f_(std::move(f)),
+        fs_(build_fused_apply_spmv(f_, a)),
+        part_(std::make_shared<const RowPartition>(RowPartition::build(a))) {}
+
+  /// Plain apply z = M^{-1} r (the GMRES restart correction).
+  void apply(std::span<const value_t> r, std::span<value_t> z) const {
+    ilu_apply(f_, r, z, ws_);
+  }
+
+  /// Fused z = M^{-1} r, t = A z — one scheduled pass.
+  void apply_spmv(std::span<const value_t> r, std::span<value_t> z,
+                  std::span<value_t> t) const {
+    ilu_apply_spmv(f_, *a_, fs_, r, z, t, ws_);
+  }
+
+  /// Adapter for pcg_fused / gmres_fused.
+  KrylovOperator op() const {
+    KrylovOperator o;
+    o.precond = [this](std::span<const value_t> r, std::span<value_t> z) {
+      apply(r, z);
+    };
+    o.apply_spmv = [this](std::span<const value_t> r, std::span<value_t> z,
+                          std::span<value_t> t) { apply_spmv(r, z, t); };
+    o.part = part_;
+    return o;
+  }
+
+  /// Plain-preconditioner adapter (for the unfused reference drivers).
+  PrecondFn fn() const {
+    return [this](std::span<const value_t> r, std::span<value_t> z) {
+      apply(r, z);
+    };
+  }
+
+  const Factorization& factorization() const noexcept { return f_; }
+  const FusedApplySpmv& fused_schedule() const noexcept { return fs_; }
+
+ private:
+  const CsrMatrix* a_;
+  Factorization f_;
+  FusedApplySpmv fs_;
+  std::shared_ptr<const RowPartition> part_;
   mutable SolveWorkspace ws_;
 };
 

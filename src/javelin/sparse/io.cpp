@@ -48,6 +48,8 @@ CsrMatrix read_matrix_market(std::istream& in) {
   std::int64_t rows64 = 0, cols64 = 0, nnz64 = 0;
   size_line >> rows64 >> cols64 >> nnz64;
   JAVELIN_CHECK(!size_line.fail(), "malformed size line");
+  JAVELIN_CHECK(rows64 >= 0 && cols64 >= 0 && nnz64 >= 0,
+                "negative dimension or count in size line");
 
   CooMatrix coo;
   coo.rows = checked_cast<index_t>(rows64, "rows");
@@ -60,6 +62,16 @@ CsrMatrix read_matrix_market(std::istream& in) {
     in >> r64 >> c64;
     if (!is_pattern) in >> v;
     JAVELIN_CHECK(!in.fail(), "malformed entry line");
+    // Coordinate entries are 1-based and must land inside the declared
+    // dimensions; a malformed file must fail here, not as an out-of-bounds
+    // access when the COO entries reach the CSR kernels.
+    if (r64 < 1 || r64 > rows64 || c64 < 1 || c64 > cols64) {
+      throw Error("matrix-market entry " + std::to_string(k + 1) +
+                  " index (" + std::to_string(r64) + ", " +
+                  std::to_string(c64) + ") outside declared " +
+                  std::to_string(rows64) + " x " + std::to_string(cols64) +
+                  " matrix");
+    }
     const index_t r = checked_cast<index_t>(r64 - 1, "row index");
     const index_t c = checked_cast<index_t>(c64 - 1, "col index");
     coo.push(r, c, static_cast<value_t>(v));

@@ -6,10 +6,24 @@
 #include <cmath>
 
 #include "javelin/support/parallel.hpp"
+#include "javelin/support/spinwait.hpp"
 
 namespace javelin {
 
 namespace {
+
+/// The dense helpers are pure streaming passes: when the requested team
+/// exceeds the hardware's concurrency, a parallel region buys no bandwidth
+/// and its fork/join churn dwarfs the loop itself — run inline instead.
+/// Value-neutral either way: the ops are elementwise (and dot's reduction
+/// tree is fixed by the vector length, never the team size).
+bool parallel_vectors_worthwhile() noexcept {
+#ifdef _OPENMP
+  return !team_oversubscribed(max_threads());
+#else
+  return false;
+#endif
+}
 
 /// Row index at which chunk `part` of `parts` begins when splitting by
 /// nonzero count: the first row whose nonzeros start at or after the chunk's
@@ -188,10 +202,47 @@ void spmv_segmented(const CsrMatrix& a, const SegmentedTiles& tiles,
 
 value_t dot(std::span<const value_t> a, std::span<const value_t> b) {
   assert(a.size() == b.size());
+  // Fixed-block pairwise reduction: each 4096-element block accumulates
+  // serially in index order, then the block partials are summed serially in
+  // block order. Blocks run in parallel, but the combination tree depends
+  // ONLY on the vector length — never on the thread count — so every dot
+  // (and hence every Krylov trajectory built on it) is bitwise-identical
+  // across thread counts. An `omp reduction` would combine per-thread
+  // partials in a team-size-dependent order and break that.
+  constexpr std::ptrdiff_t kBlock = 4096;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(a.size());
+  if (n <= kBlock) {
+    value_t s = 0;
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    }
+    return s;
+  }
+  const std::ptrdiff_t num_blocks = (n + kBlock - 1) / kBlock;
+  // Grow-only per-HOST-thread scratch: dot is the hottest scalar reduction
+  // in the Krylov inner loop (GMRES runs j+1 of these per Arnoldi step), so
+  // keep malloc/free out of it. The OpenMP workers must all write the
+  // CALLING thread's buffer — inside the parallel region a thread_local
+  // name would resolve to each worker's own (empty) copy — so the region
+  // sees it only through this shared plain-local pointer.
+  static thread_local std::vector<value_t> scratch;
+  if (scratch.size() < static_cast<std::size_t>(num_blocks)) {
+    scratch.resize(static_cast<std::size_t>(num_blocks));
+  }
+  value_t* const partial = scratch.data();
+#pragma omp parallel for schedule(static) if (parallel_vectors_worthwhile())
+  for (std::ptrdiff_t blk = 0; blk < num_blocks; ++blk) {
+    const std::ptrdiff_t lo = blk * kBlock;
+    const std::ptrdiff_t hi = std::min(lo + kBlock, n);
+    value_t s = 0;
+    for (std::ptrdiff_t i = lo; i < hi; ++i) {
+      s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    }
+    partial[blk] = s;
+  }
   value_t s = 0;
-#pragma omp parallel for schedule(static) reduction(+ : s)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.size()); ++i) {
-    s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  for (std::ptrdiff_t blk = 0; blk < num_blocks; ++blk) {
+    s += partial[blk];
   }
   return s;
 }
@@ -200,7 +251,7 @@ value_t norm2(std::span<const value_t> a) { return std::sqrt(dot(a, a)); }
 
 void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
   assert(x.size() == y.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (parallel_vectors_worthwhile())
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
     y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
   }
@@ -208,14 +259,14 @@ void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
 
 void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y) {
   assert(x.size() == y.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (parallel_vectors_worthwhile())
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
     y[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
   }
 }
 
 void scale(value_t alpha, std::span<value_t> x) {
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (parallel_vectors_worthwhile())
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(x.size()); ++i) {
     x[static_cast<std::size_t>(i)] *= alpha;
   }

@@ -46,6 +46,28 @@ static_assert(sizeof(PaddedCounter) == kCacheLine);
 /// Spin iterations between yields in wait_for (~1 µs of pause-spinning).
 inline constexpr int kSpinsBeforeYield = 1024;
 
+/// Cached hardware concurrency (the query is a syscall on some libstdc++
+/// builds); 0 when unknown.
+inline int hardware_cores() noexcept {
+  static const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw;
+}
+
+/// A team of `threads` oversubscribes the machine: more runnable spinners
+/// than cores, so a waited-on producer is likely not running.
+inline bool team_oversubscribed(int threads) noexcept {
+  const int hw = hardware_cores();
+  return hw > 0 && threads > hw;
+}
+
+/// Spin budget for a team of `threads`: when the team oversubscribes the
+/// hardware the producer we are waiting on cannot be running, so burning a
+/// pause-spin window before every yield only delays its next time slice —
+/// yield immediately instead.
+inline int spin_budget_for(int threads) noexcept {
+  return team_oversubscribed(threads) ? 1 : kSpinsBeforeYield;
+}
+
 /// Per-thread monotone progress counters with acquire/release publication.
 ///
 /// Thread t executes its scheduled items in a fixed order; after finishing
@@ -85,14 +107,17 @@ class ProgressCounters {
   }
 
   /// Spin until thread `t` has published at least `count` items. Pure
-  /// pause-spin while the producer is likely running; after a bounded number
-  /// of misses, yield the core so an oversubscribed producer (more threads
+  /// pause-spin while the producer is likely running; after `spin_budget`
+  /// misses, yield the core so an oversubscribed producer (more threads
   /// than cores) can be scheduled instead of starving behind the spinner.
-  void wait_for(int t, index_t count) const noexcept {
+  /// Callers that know their team is oversubscribed pass
+  /// spin_budget_for(team) so the first miss yields immediately.
+  void wait_for(int t, index_t count,
+                int spin_budget = kSpinsBeforeYield) const noexcept {
     const auto& c = counters_[static_cast<std::size_t>(t)].value;
     int spins = 0;
     while (c.load(std::memory_order_acquire) < count) {
-      if (++spins < kSpinsBeforeYield) {
+      if (++spins < spin_budget) {
         cpu_pause();
       } else {
         spins = 0;

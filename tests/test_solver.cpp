@@ -2,6 +2,8 @@
 // preconditioned GMRES(m) on unsymmetric, both with and without the Javelin
 // ILU preconditioner. Residuals are re-verified from scratch — the solver's
 // own bookkeeping is not trusted.
+#include <cmath>
+
 #include "javelin/gen/generators.hpp"
 #include "javelin/solver/krylov.hpp"
 #include "javelin/support/parallel.hpp"
@@ -90,6 +92,66 @@ int main() {
     CHECK_MSG(res.converged, "power ILU-GMRES rel res %.3g after %d iters",
               res.relative_residual, res.iterations);
     CHECK(true_relative_residual(a, b, x) < 1e-7);
+  }
+
+  // --- GMRES happy breakdown: exact Krylov-space termination mid-restart --
+  {
+    // 4-cycle permutation matrix: A e_i = e_{i+1 mod 4}. With b = e_0 the
+    // Arnoldi vectors are exactly e_0, e_1, e_2, e_3; at step j = 3 (well
+    // inside the restart window) orthogonalization cancels EXACTLY, so
+    // hnext == 0 — the engineered happy breakdown. The inner loop must stop
+    // after applying the rotation (v[4] was never written) and
+    // back-substitute the exact solution x = e_3 from the 4 columns.
+    CsrMatrix cyc(4, 4, {0, 1, 2, 3, 4}, {3, 0, 1, 2}, {1, 1, 1, 1});
+    std::vector<value_t> b(4, 0), x(4, 0);
+    b[0] = 1;
+    const SolverResult res =
+        gmres(cyc, b, x, identity_preconditioner(), sopts);
+    CHECK_MSG(res.converged && res.iterations == 4,
+              "happy breakdown converged=%d iters=%d rel=%.3g", res.converged,
+              res.iterations, res.relative_residual);
+    CHECK(true_relative_residual(cyc, b, x) < 1e-14);
+    std::vector<value_t> expect(4, 0);
+    expect[3] = 1;
+    CHECK_MSG(javelin::test::max_abs_diff(x, expect) < 1e-14,
+              "happy breakdown x diff %.3g",
+              javelin::test::max_abs_diff(x, expect));
+  }
+
+  // --- PCG breakdown on non-SPD input must report an honest residual ------
+  {
+    // Indefinite diagonal: the search direction hits p^T A p == 0 at the
+    // second iteration; the solver must return the TRUE residual of the
+    // iterate it actually produced instead of a stale recurrence value.
+    CsrMatrix ind(2, 2, {0, 1, 2}, {0, 1}, {1, -1});
+    std::vector<value_t> b = {1, 1};
+    std::vector<value_t> x(2, 0);
+    const SolverResult res = pcg(ind, b, x, identity_preconditioner(), sopts);
+    CHECK_MSG(!res.converged, "indefinite PCG claimed convergence");
+    std::vector<value_t> r(2);
+    spmv_serial(ind, x, r);
+    for (std::size_t i = 0; i < 2; ++i) r[i] = b[i] - r[i];
+    const double true_rel = norm2(r) / norm2(std::span<const value_t>(b));
+    CHECK_MSG(std::abs(res.relative_residual - true_rel) < 1e-15,
+              "breakdown residual %.17g vs true %.17g", res.relative_residual,
+              true_rel);
+  }
+
+  // --- PCG rz == 0 breakdown must exit honestly, not poison x with NaN ----
+  {
+    // With M = A = diag(1, -1) (ILU is exact on a diagonal), z = M^{-1} r
+    // is exactly orthogonal to r for b = (1, 1): rz == 0 at the first
+    // iteration. Without the guard the next beta would be 0/0 = NaN.
+    CsrMatrix ind(2, 2, {0, 1, 2}, {0, 1}, {1, -1});
+    std::vector<value_t> b = {1, 1};
+    std::vector<value_t> x(2, 0);
+    IluPreconditioner m(ind, {});
+    const SolverResult res = pcg(ind, b, x, m.fn(), sopts);
+    CHECK_MSG(!res.converged, "rz breakdown claimed convergence");
+    CHECK_MSG(std::isfinite(res.relative_residual) &&
+                  std::isfinite(x[0]) && std::isfinite(x[1]),
+              "rz breakdown left NaN: rel=%.3g x=(%.3g, %.3g)",
+              res.relative_residual, x[0], x[1]);
   }
 
   // --- warm start: an already-solved system must report convergence --------

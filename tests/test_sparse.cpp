@@ -1,6 +1,10 @@
 // SpMV variants against the serial reference, and the nnz-balanced
 // RowPartition invariants.
+#include <sstream>
+
 #include "javelin/gen/generators.hpp"
+#include "javelin/sparse/io.hpp"
+#include "javelin/sparse/ops.hpp"
 #include "javelin/sparse/spmv.hpp"
 #include "javelin/support/parallel.hpp"
 #include "test_util.hpp"
@@ -95,6 +99,46 @@ int main() {
   // Degenerate shapes.
   check_partition(CsrMatrix::zeros(10, 10), 4);
   check_partition(CsrMatrix::identity(1), 3);
+
+  // --- Matrix-Market reader: well-formed round trip -----------------------
+  {
+    std::stringstream ss;
+    write_matrix_market(ss, grid);
+    const CsrMatrix back = read_matrix_market(ss);
+    CHECK(back.rows() == grid.rows() && back.nnz() == grid.nnz());
+    CHECK(max_abs_difference(back, grid) == 0);
+  }
+
+  // --- Matrix-Market reader: out-of-range indices must throw --------------
+  // (regression: entries used to pass through with only an integer-width
+  // check, producing out-of-bounds COO entries and downstream OOB access)
+  {
+    const auto expect_throw = [&](const char* body, const char* what) {
+      std::istringstream in(body);
+      bool threw = false;
+      try {
+        read_matrix_market(in);
+      } catch (const Error&) {
+        threw = true;
+      }
+      CHECK_MSG(threw, "reader accepted %s", what);
+    };
+    expect_throw(
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n5 2 2.0\n",
+        "row index above declared rows");
+    expect_throw(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n2 7 1.0\n",
+        "col index above declared cols");
+    expect_throw(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n0 2 1.0\n",
+        "zero (not 1-based) row index");
+    expect_throw(
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n2 -1 1.0\n",
+        "negative col index");
+    expect_throw(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n4 1 1.0\n",
+        "out-of-range row in a symmetric file");
+  }
 
   return javelin::test::finish("test_sparse");
 }

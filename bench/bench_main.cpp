@@ -1,8 +1,16 @@
 // Benchmark harness: times factor / refactor (persistent scatter map vs the
-// seed binary-search scatter) / triangular solve / SpMV / AMG-PCG vs
+// seed binary-search scatter) / triangular solve (P2P vs barrier CSR-LS —
+// the paper's §VI apples-to-apples comparison) / SpMV / AMG-PCG vs
 // ILU-PCG across the synthetic suite and a sweep of thread counts, and
 // emits a BENCH_*.json so the perf trajectory of the repo is measurable PR
-// over PR.
+// over PR. Schedule statistics (levels, dependency counts before/after
+// sparsification, items per thread) and the AMG aggregate-size histogram
+// ride along in the JSON.
+//
+// The sweep pins retarget_oversubscribed = false: each thread-count row must
+// measure the PLANNED team, not whatever the autotune clamp would re-plan it
+// to on a smaller machine (otherwise every t > cores row measures the same
+// retargeted schedule).
 //
 //   javelin_bench [--scale S] [--threads 1,2,4] [--reps N] [--fill K]
 //                 [--matrices name1,name2] [--matrix file.mtx] [--out PATH]
@@ -89,14 +97,34 @@ BenchConfig parse_args(int argc, char** argv) {
   return cfg;
 }
 
+/// Schedule-shape statistics of one direction at one thread count (both
+/// backends share the structure; P2P synchronizes on `waits` spin-waits per
+/// sweep, barrier CSR-LS on `levels` barriers).
+struct SchedStats {
+  index_t levels = 0;
+  index_t deps_total = 0;  // cross-thread dependencies before pruning
+  index_t waits = 0;       // spin-waits kept after sparsification
+  index_t items = 0;
+  index_t max_items_per_thread = 0;
+};
+
+SchedStats sched_stats(const ExecSchedule& s) {
+  return SchedStats{s.num_levels, s.deps_total, s.deps_kept, s.num_items(),
+                    s.max_items_per_thread()};
+}
+
 struct ThreadTimings {
   int threads = 0;
   double factor_s = 0;
   double refactor_s = 0;           // persistent scatter map path
   double scatter_map_s = 0;        // scatter alone, map path
   double scatter_searched_s = 0;   // scatter alone, seed path
-  double solve_s = 0;              // one ilu_apply
+  double solve_s = 0;              // one ilu_apply, P2P backend
+  double solve_ls_s = 0;           // one ilu_apply, barrier CSR-LS backend
   double spmv_s = 0;               // one partitioned spmv
+  // Full ILU-PCG race per backend (symmetric entries; -1 = not run):
+  double ilu_pcg_ls_s = -1;
+  SchedStats fwd, bwd;             // schedule shape at this thread count
   // Fused vs unfused Krylov inner loop: wall time per iteration of the same
   // restructured driver consuming ilu_apply_spmv (fused) vs apply-then-spmv
   // as two kernels (unfused). -1 = not run (pcg_* on symmetric entries only).
@@ -118,13 +146,20 @@ struct MatrixReport {
   index_t levels = 0;
   index_t rows_moved = 0;
   std::string method;
-  int pcg_iterations = -1;   // ILU-Krylov on the 1st thread count
+  int pcg_iterations = -1;   // ILU-Krylov on the 1st thread count (P2P)
+  int pcg_iterations_ls = -1;  // same solve under the barrier backend
   int amg_iterations = -1;   // AMG-PCG (iteration counts are thread-invariant)
   int amg_levels = 0;
   double amg_operator_complexity = 0;
+  /// Finest-level aggregate-size histogram: entry k = number of aggregates
+  /// with k+1 fine rows (aggregation-quality ROADMAP metric).
+  std::vector<index_t> amg_aggregate_hist;
   /// Fused and unfused solver trajectories bitwise-identical, at every
   /// thread count and against the first thread count's solution.
   bool fused_parity = true;
+  /// P2P and barrier backends bitwise-identical (ilu_apply output and full
+  /// ILU-Krylov solution) at every thread count.
+  bool backend_parity = true;
   std::vector<ThreadTimings> timings;
 };
 
@@ -153,12 +188,16 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     IluOptions opts;
     opts.num_threads = t;
     opts.fill_level = cfg.fill;
+    // Each row of the sweep must measure the PLANNED team (see file header).
+    opts.retarget_oversubscribed = false;
 
     ThreadTimings tt;
     tt.threads = t;
     tt.factor_s = min_time_seconds([&] { ilu_factor(a, opts); }, cfg.reps, 1);
 
     Factorization f = ilu_factor(a, opts);
+    tt.fwd = sched_stats(f.fwd);
+    tt.bwd = sched_stats(f.bwd);
     if (ti == 0) {
       rep.levels = f.plan.total_levels;
       rep.rows_moved = f.plan.rows_moved;
@@ -180,6 +219,20 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     ilu_apply(f, r, z, ws);  // warm the workspace
     tt.solve_s =
         min_time_seconds([&] { ilu_apply(f, r, z, ws); }, cfg.reps, 1);
+
+    // Barrier (CSR-LS) baseline on the SAME factor — flip the backend tag
+    // (structure is shared), re-time the apply, and check bitwise parity
+    // against the P2P sweep. This is the paper's §VI per-sweep comparison.
+    {
+      Factorization fb = f;  // schedule copy; retarget caches reset
+      set_exec_backend(fb, ExecBackend::kBarrier);
+      std::vector<value_t> zb(r.size());
+      SolveWorkspace wsb;
+      ilu_apply(fb, r, zb, wsb);  // warm
+      tt.solve_ls_s =
+          min_time_seconds([&] { ilu_apply(fb, r, zb, wsb); }, cfg.reps, 1);
+      if (zb != z) rep.backend_parity = false;
+    }
 
     const RowPartition part = RowPartition::build(a, t);
     std::vector<value_t> y(r.size());
@@ -247,12 +300,26 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     if (e.paper_sym_pattern) {
       // Symmetric-pattern entries: full AMG-PCG vs ILU-PCG wall-time race at
       // every thread count (iteration counts are deterministic, so they are
-      // recorded once).
-      std::vector<value_t> x(r.size(), 0);
+      // recorded once), with the ILU-PCG run under BOTH backends — same
+      // factor, same trajectory, only the sweep synchronization differs.
+      std::vector<value_t> x(r.size(), 0), x_ls(r.size(), 0);
+      {
+        Factorization fb = f;
+        set_exec_backend(fb, ExecBackend::kBarrier);
+        IluPreconditioner mb(std::move(fb));
+        Timer ls_t;
+        const SolverResult lres = pcg(a, r, x_ls, mb.fn(), sopts);
+        tt.ilu_pcg_ls_s = ls_t.seconds();
+        if (ti == 0) {
+          rep.pcg_iterations_ls =
+              lres.converged ? lres.iterations : -lres.iterations;
+        }
+      }
       IluPreconditioner m(std::move(f));  // last use of f this iteration
       Timer ilu_t;
       const SolverResult ires = pcg(a, r, x, m.fn(), sopts);
       tt.ilu_pcg_s = ilu_t.seconds();
+      if (x != x_ls) rep.backend_parity = false;
       if (ti == 0) {
         rep.pcg_iterations = ires.converged ? ires.iterations : -ires.iterations;
       }
@@ -265,6 +332,8 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
         if (ti == 0) {
           rep.amg_levels = amg.hierarchy().num_levels();
           rep.amg_operator_complexity = amg.hierarchy().operator_complexity();
+          rep.amg_aggregate_hist =
+              amg.hierarchy().levels.front().aggregate_hist;
         }
         std::vector<value_t> zc(r.size());
         amg.apply(r, zc);  // warm the hierarchy scratch
@@ -282,18 +351,29 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
         if (ti == 0) std::printf("  amg skipped: %s\n", err.what());
       }
     } else if (ti == 0) {
+      // Unsymmetric entries: GMRES iteration counts + bitwise backend parity
+      // recorded once (the per-sweep timing race above already runs at every
+      // thread count).
+      Factorization fb = f;
+      set_exec_backend(fb, ExecBackend::kBarrier);
+      IluPreconditioner mb(std::move(fb));
       IluPreconditioner m(std::move(f));
-      std::vector<value_t> x(r.size(), 0);
+      std::vector<value_t> x(r.size(), 0), x_ls(r.size(), 0);
       const SolverResult res = gmres(a, r, x, m.fn(), sopts);
+      const SolverResult lres = gmres(a, r, x_ls, mb.fn(), sopts);
       rep.pcg_iterations = res.converged ? res.iterations : -res.iterations;
+      rep.pcg_iterations_ls =
+          lres.converged ? lres.iterations : -lres.iterations;
+      if (x != x_ls) rep.backend_parity = false;
     }
 
     rep.timings.push_back(tt);
     std::printf(
         "  %-18s t=%d  factor %.4fs  refactor %.4fs  scatter map/searched "
-        "%.5f/%.5fs  solve %.5fs  spmv %.5fs",
+        "%.5f/%.5fs  solve p2p/ls %.5f/%.5fs (%.2fx)  spmv %.5fs",
         e.name.c_str(), t, tt.factor_s, tt.refactor_s, tt.scatter_map_s,
-        tt.scatter_searched_s, tt.solve_s, tt.spmv_s);
+        tt.scatter_searched_s, tt.solve_s, tt.solve_ls_s,
+        tt.solve_s > 0 ? tt.solve_ls_s / tt.solve_s : 0.0, tt.spmv_s);
     if (tt.pcg_fused_iter_s >= 0) {
       std::printf("  pcg-it fused/unfused %.5f/%.5fs (%.2fx)",
                   tt.pcg_fused_iter_s, tt.pcg_unfused_iter_s,
@@ -328,18 +408,34 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
        << ", \"nnz\": " << r.nnz << ", \"levels\": " << r.levels
        << ", \"rows_moved\": " << r.rows_moved << ", \"method\": \""
        << r.method << "\", \"krylov_iterations\": " << r.pcg_iterations
+       << ", \"krylov_iterations_ls\": " << r.pcg_iterations_ls
        << ", \"amg_iterations\": " << r.amg_iterations
        << ", \"amg_levels\": " << r.amg_levels
        << ", \"amg_operator_complexity\": " << r.amg_operator_complexity
        << ", \"fused_parity\": " << (r.fused_parity ? "true" : "false")
-       << ",\n     \"timings\": [\n";
+       << ", \"backend_parity\": " << (r.backend_parity ? "true" : "false")
+       << ",\n     \"amg_aggregate_hist\": [";
+    for (std::size_t j = 0; j < r.amg_aggregate_hist.size(); ++j) {
+      os << (j ? ", " : "") << r.amg_aggregate_hist[j];
+    }
+    os << "],\n     \"timings\": [\n";
+    const auto sched = [&os](const char* key, const SchedStats& s) {
+      os << ", \"" << key << "\": {\"levels\": " << s.levels
+         << ", \"deps_total\": " << s.deps_total << ", \"waits\": " << s.waits
+         << ", \"items\": " << s.items
+         << ", \"max_items_per_thread\": " << s.max_items_per_thread << "}";
+    };
     for (std::size_t j = 0; j < r.timings.size(); ++j) {
       const ThreadTimings& t = r.timings[j];
       os << "       {\"threads\": " << t.threads << ", \"factor_s\": "
          << t.factor_s << ", \"refactor_s\": " << t.refactor_s
          << ", \"scatter_map_s\": " << t.scatter_map_s
          << ", \"scatter_searched_s\": " << t.scatter_searched_s
-         << ", \"solve_s\": " << t.solve_s << ", \"spmv_s\": " << t.spmv_s
+         << ", \"solve_s\": " << t.solve_s
+         << ", \"solve_ls_s\": " << t.solve_ls_s
+         << ", \"ls_over_p2p_solve\": "
+         << (t.solve_s > 0 ? t.solve_ls_s / t.solve_s : -1)
+         << ", \"spmv_s\": " << t.spmv_s
          << ", \"pcg_fused_iter_s\": " << t.pcg_fused_iter_s
          << ", \"pcg_unfused_iter_s\": " << t.pcg_unfused_iter_s
          << ", \"gmres_fused_iter_s\": " << t.gmres_fused_iter_s
@@ -348,7 +444,10 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
          << ", \"amg_cycle_s\": " << t.amg_cycle_s
          << ", \"amg_pcg_s\": " << t.amg_pcg_s
          << ", \"ilu_pcg_s\": " << t.ilu_pcg_s
-         << "}" << (j + 1 < r.timings.size() ? "," : "") << "\n";
+         << ", \"ilu_pcg_ls_s\": " << t.ilu_pcg_ls_s;
+      sched("sched_fwd", t.fwd);
+      sched("sched_bwd", t.bwd);
+      os << "}" << (j + 1 < r.timings.size() ? "," : "") << "\n";
     }
     os << "     ]}" << (i + 1 < reps.size() ? "," : "") << "\n";
   }

@@ -133,6 +133,16 @@ AmgHierarchy amg_setup(const CsrMatrix& a, const AmgOptions& opts) {
           opts.min_coarsening_ratio * static_cast<double>(n)) {
         coarsest = true;  // coarsening stalled; solve this level directly
       } else {
+        // Aggregation-quality metric surfaced to the bench: sizes per
+        // aggregate, folded into a histogram indexed by size - 1.
+        std::vector<index_t> size(static_cast<std::size_t>(agg.count), 0);
+        for (index_t g : agg.id) ++size[static_cast<std::size_t>(g)];
+        for (index_t s : size) {
+          if (static_cast<std::size_t>(s) > L.aggregate_hist.size()) {
+            L.aggregate_hist.resize(static_cast<std::size_t>(s), 0);
+          }
+          ++L.aggregate_hist[static_cast<std::size_t>(s) - 1];
+        }
         const CsrMatrix t = tentative_prolongation(agg);
         const CsrMatrix s = prolongation_smoother(
             filter_matrix(L.a, strength), opts.prolongation_omega);

@@ -42,6 +42,13 @@ struct AmgLevel {
   /// correction (unused on the finest level, which works on caller spans).
   std::vector<value_t> x, rhs, resid, tmp;
 
+  /// Aggregate-size histogram of the aggregation that coarsened THIS level
+  /// (empty on the coarsest level): aggregate_hist[k] = number of
+  /// aggregates with k+1 fine rows. The classic aggregation-quality
+  /// metric — a healthy smoothed-aggregation pass clusters around the
+  /// stencil size; a spike at 1 (singletons) flags stalled coarsening.
+  std::vector<index_t> aggregate_hist;
+
   index_t n() const noexcept { return a.rows(); }
 };
 

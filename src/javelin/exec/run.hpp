@@ -1,0 +1,122 @@
+// Runtime execution of an ExecSchedule under either backend.
+//
+// exec_run(s, row_fn, progress) launches one parallel region of s.threads
+// and drives row_fn(row, thread) in dependency order:
+//
+//   * kP2P: each thread walks its items; before an item it performs the
+//     item's sparsified spin-waits on the shared ProgressCounters, after it
+//     it publishes its own monotone counter — threads speed ahead of each
+//     other (paper §III-A).
+//   * kBarrier: each thread recomputes its contiguous slice of every level
+//     (the same partition_range slices the builder assigned) and the whole
+//     team crosses a spin barrier between levels — the CSR-LS baseline.
+//
+// Both backends execute identical (row, thread) assignments with identical
+// per-row orders, so they are bitwise-interchangeable; only synchronization
+// differs. Teams of 1 — including schedules retargeted down to one thread —
+// run the serial level-major order with zero synchronization.
+//
+// If the OpenMP runtime delivers a SMALLER team than scheduled (nested
+// parallelism, thread limits), the region degrades to the serial order as a
+// last-resort correctness path. Consumers avoid this by retargeting the
+// schedule to the runtime team first (ilu/retarget.hpp) — the serial path
+// here is a safety net, not a policy.
+#pragma once
+
+#include <utility>
+
+#include "javelin/exec/schedule.hpp"
+#include "javelin/support/parallel.hpp"
+#include "javelin/support/spinwait.hpp"
+
+namespace javelin {
+
+/// Dependency-safe serial sweep (level-major order).
+template <class RowFn>
+void exec_run_serial(const ExecSchedule& s, RowFn&& row_fn) {
+  for (index_t r : s.serial_order) row_fn(r, 0);
+}
+
+/// Execute the schedule with caller-provided progress counters. `row_fn(row,
+/// thread)` is called once per row, in dependency order, from inside a
+/// parallel region; it must not throw.
+///
+/// `progress` is grown (reallocating) only when it is smaller than the
+/// schedule's team and re-armed (zeroed) otherwise, so callers that sweep
+/// thousands of times — the stri-per-Krylov-iteration profile, and the AMG
+/// smoother running stri at every level of every V-cycle — pay the
+/// threads×64B counter allocation once, not per sweep. (The barrier backend
+/// leaves `progress` untouched; it synchronizes through a stack barrier.)
+template <class RowFn>
+void exec_run(const ExecSchedule& s, RowFn&& row_fn,
+              ProgressCounters& progress) {
+  if (s.threads <= 1) {
+    exec_run_serial(s, row_fn);
+    return;
+  }
+  if (s.backend == ExecBackend::kP2P) {
+    if (progress.num_threads() < s.threads) {
+      progress.reset(s.threads);
+    } else {
+      progress.rearm();
+    }
+  }
+  SpinBarrier barrier(s.threads);
+  bool fallback = false;
+#pragma omp parallel num_threads(s.threads)
+  {
+    // team_size() is uniform across the team, so every thread reaches the
+    // same verdict locally — no single+barrier round just to agree on it.
+    // (Uniformity also keeps the level barriers below team-collective.)
+    if (team_size() < s.threads) {
+      if (thread_id() == 0) fallback = true;  // sole writer
+    } else if (s.backend == ExecBackend::kBarrier) {
+      const int t = thread_id();
+      const int spin_budget = spin_budget_for(s.threads);
+      for (index_t l = 0; l < s.num_levels; ++l) {
+        const index_t base = s.level_ptr[static_cast<std::size_t>(l)];
+        const index_t lsz = s.level_ptr[static_cast<std::size_t>(l) + 1] - base;
+        const Range rr = partition_range(lsz, s.threads, t);
+        for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
+          row_fn(s.serial_order[static_cast<std::size_t>(k)], t);
+        }
+        barrier.arrive_and_wait(spin_budget);
+      }
+    } else {
+      const int t = thread_id();
+      const int spin_budget = spin_budget_for(s.threads);
+      const index_t lo = s.thread_ptr[static_cast<std::size_t>(t)];
+      const index_t hi = s.thread_ptr[static_cast<std::size_t>(t) + 1];
+      index_t done = 0;
+      for (index_t i = lo; i < hi; ++i) {
+        // One merged wait list, then the whole row block — the spin-wait
+        // checks and the release store are amortized over chunk_rows rows.
+        for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
+             w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+          progress.wait_for(static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
+                            s.wait_count[static_cast<std::size_t>(w)], spin_budget);
+        }
+        for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
+             k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          row_fn(s.rows[static_cast<std::size_t>(k)], t);
+        }
+        ++done;
+        progress.publish(t, done);
+      }
+    }
+  }
+  if (fallback) {
+    exec_run_serial(s, row_fn);
+  }
+}
+
+/// Convenience overload with per-call counters (one-shot executions such as
+/// the factorization numeric phase; sweep loops should pass a persistent
+/// ProgressCounters instead).
+template <class RowFn>
+void exec_run(const ExecSchedule& s, RowFn&& row_fn) {
+  ProgressCounters progress;
+  exec_run(s, std::forward<RowFn>(row_fn), progress);
+}
+
+}  // namespace javelin

@@ -1,13 +1,14 @@
-#include "javelin/ilu/schedule.hpp"
+#include "javelin/exec/schedule.hpp"
 
 #include <algorithm>
 
 #include "javelin/graph/levels.hpp"
+#include "javelin/support/parallel.hpp"
 
 namespace javelin {
 
-void P2PSchedule::producer_positions(std::vector<index_t>& owner,
-                                     std::vector<index_t>& item_of) const {
+void ExecSchedule::producer_positions(std::vector<index_t>& owner,
+                                      std::vector<index_t>& item_of) const {
   owner.assign(static_cast<std::size_t>(n_total), kInvalidIndex);
   item_of.assign(static_cast<std::size_t>(n_total), kInvalidIndex);
   for (int t = 0; t < threads; ++t) {
@@ -98,18 +99,21 @@ void build_sparsified_waits(int threads,
   }
 }
 
-P2PSchedule build_p2p_schedule(index_t n_total,
-                               std::span<const index_t> level_ptr,
-                               std::span<const index_t> rows_by_level,
-                               const DepsFn& deps, int threads,
-                               index_t chunk_rows) {
-  P2PSchedule s;
+ExecSchedule build_exec_schedule(ExecBackend backend, index_t n_total,
+                                 std::span<const index_t> level_ptr,
+                                 std::span<const index_t> rows_by_level,
+                                 const DepsFn& deps, int threads,
+                                 index_t chunk_rows) {
+  ExecSchedule s;
+  s.backend = backend;
   s.threads = std::max(1, threads);
   s.n_total = n_total;
   s.num_levels = static_cast<index_t>(level_ptr.size()) - 1;
+  s.level_ptr.assign(level_ptr.begin(), level_ptr.end());
   s.serial_order.assign(rows_by_level.begin(), rows_by_level.end());
 
   const index_t chunk = std::max<index_t>(1, chunk_rows);
+  s.chunk_rows = chunk;
   const index_t n_rows = static_cast<index_t>(rows_by_level.size());
   const int T = s.threads;
 
@@ -117,7 +121,9 @@ P2PSchedule build_p2p_schedule(index_t n_total,
   // each (level, thread) slice into items of up to `chunk` rows, and record
   // (owner, item position) per row. Chunks never cross a level boundary —
   // that keeps every item's dependencies in strictly earlier items on every
-  // thread (deadlock freedom).
+  // thread (deadlock freedom). The barrier executor recomputes the SAME
+  // slices from level_ptr at run time, so the two backends execute
+  // identical (row, thread) assignments.
   std::vector<index_t> row_count(static_cast<std::size_t>(T), 0);
   std::vector<index_t> item_count(static_cast<std::size_t>(T), 0);
   for (index_t l = 0; l < s.num_levels; ++l) {
@@ -179,6 +185,8 @@ P2PSchedule build_p2p_schedule(index_t n_total,
   // Pass 2: sparsified per-item wait lists. An item's need is the max over
   // all its rows; same-thread and unscheduled dependencies are filtered
   // here, the dedup + monotone pruning live in build_sparsified_waits.
+  // Built for either backend: the waits are what a later retarget() or
+  // backend switch relies on; the barrier executor just never reads them.
   build_sparsified_waits(
       T, s.thread_ptr, /*seed=*/{},
       [&](int t, index_t i,
@@ -197,36 +205,53 @@ P2PSchedule build_p2p_schedule(index_t n_total,
   return s;
 }
 
-P2PSchedule build_upper_forward_schedule(const CsrMatrix& lu,
-                                         std::span<const index_t> upper_level_ptr,
-                                         int threads, index_t chunk_rows) {
-  const index_t n_upper = upper_level_ptr.empty() ? 0 : upper_level_ptr.back();
-  // Levels are contiguous row ranges after the plan permutation; materialize
-  // the identity listing.
-  std::vector<index_t> rows(static_cast<std::size_t>(n_upper));
-  for (index_t r = 0; r < n_upper; ++r) rows[static_cast<std::size_t>(r)] = r;
-  const DepsFn deps = [&lu](index_t row, const std::function<void(index_t)>& yield) {
-    for (index_t c : lu.row_cols(row)) {
+ExecSchedule retarget(const ExecSchedule& s, const DepsFn& deps, int threads) {
+  // Same builder, same retained level structure, new team: the result is
+  // field-for-field identical to a fresh build at `threads` by construction.
+  return build_exec_schedule(s.backend, s.n_total, s.level_ptr,
+                             s.serial_order, deps, threads, s.chunk_rows);
+}
+
+DepsFn lower_triangular_deps(const CsrMatrix& lu) {
+  const CsrMatrix* m = &lu;
+  return [m](index_t row, const std::function<void(index_t)>& yield) {
+    for (index_t c : m->row_cols(row)) {
       if (c >= row) break;
       yield(c);
     }
   };
-  return build_p2p_schedule(lu.rows(), upper_level_ptr, rows, deps, threads,
-                            chunk_rows);
 }
 
-P2PSchedule build_backward_schedule(const CsrMatrix& lu, int threads,
-                                    index_t chunk_rows) {
-  const LevelSets ls = compute_level_sets_upper(lu);
-  const DepsFn deps = [&lu](index_t row, const std::function<void(index_t)>& yield) {
-    auto cols = lu.row_cols(row);
+DepsFn upper_triangular_deps(const CsrMatrix& lu) {
+  const CsrMatrix* m = &lu;
+  return [m](index_t row, const std::function<void(index_t)>& yield) {
+    auto cols = m->row_cols(row);
     for (std::size_t k = cols.size(); k-- > 0;) {
       if (cols[k] <= row) break;
       yield(cols[k]);
     }
   };
-  return build_p2p_schedule(lu.rows(), ls.level_ptr, ls.rows_by_level, deps,
-                            threads, chunk_rows);
+}
+
+ExecSchedule build_upper_forward_schedule(const CsrMatrix& lu,
+                                          std::span<const index_t> upper_level_ptr,
+                                          ExecBackend backend, int threads,
+                                          index_t chunk_rows) {
+  const index_t n_upper = upper_level_ptr.empty() ? 0 : upper_level_ptr.back();
+  // Levels are contiguous row ranges after the plan permutation; materialize
+  // the identity listing.
+  std::vector<index_t> rows(static_cast<std::size_t>(n_upper));
+  for (index_t r = 0; r < n_upper; ++r) rows[static_cast<std::size_t>(r)] = r;
+  return build_exec_schedule(backend, lu.rows(), upper_level_ptr, rows,
+                             lower_triangular_deps(lu), threads, chunk_rows);
+}
+
+ExecSchedule build_backward_schedule(const CsrMatrix& lu, ExecBackend backend,
+                                     int threads, index_t chunk_rows) {
+  const LevelSets ls = compute_level_sets_upper(lu);
+  return build_exec_schedule(backend, lu.rows(), ls.level_ptr,
+                             ls.rows_by_level, upper_triangular_deps(lu),
+                             threads, chunk_rows);
 }
 
 }  // namespace javelin

@@ -1,0 +1,176 @@
+// Pluggable execution schedules for level-ordered row sweeps.
+//
+// One build, two runtime backends (exec/run.hpp):
+//
+//   * kP2P — point-to-point level scheduling (paper §III-A, Fig. 4): rows of
+//     each level are mapped to threads in contiguous slices; each thread
+//     executes its rows level-by-level in a fixed order. That fixed order is
+//     the "implied ordering" that lets dependencies be pruned:
+//       - same-thread dependencies vanish (program order),
+//       - per producer thread only the MAXIMUM needed schedule position is
+//         kept (its progress counter is monotone),
+//       - a dependency already implied by an earlier wait of the same
+//         consumer thread is dropped (build-time transitive pruning).
+//     At runtime an item performs at most (threads - 1) spin-waits on padded
+//     progress counters — no barriers, no tasks.
+//
+//   * kBarrier — the classic barrier-synchronized level-set sweep (CSR-LS):
+//     the SAME (level, thread) slices, but the team barriers between levels
+//     instead of spin-waiting on sparsified dependencies. This is the §VI
+//     baseline the point-to-point scheme is measured against.
+//
+// Rows are additionally blocked into ITEMS — chunks of up to chunk_rows
+// consecutive rows of one (level, thread) slice. For the P2P backend the
+// chunk is the synchronization granule: one merged wait list up front, one
+// counter publish at the end. Chunks never cross a level boundary, which
+// keeps the schedule deadlock-free (an item's dependencies always live in
+// strictly earlier levels, hence strictly earlier items on every thread).
+//
+// Schedules are RUNTIME-RETARGETABLE: retarget() re-chunks the (level,
+// thread) slices and rebuilds the sparsified waits for any team size from
+// the retained level structure, bitwise-identical to a fresh build at that
+// size. Consumers re-plan on a team-size mismatch instead of falling back to
+// a serial sweep (ilu/retarget.hpp).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "javelin/exec/backend.hpp"
+#include "javelin/sparse/csr.hpp"
+
+namespace javelin {
+
+struct ExecSchedule {
+  ExecBackend backend = ExecBackend::kP2P;
+  int threads = 1;
+  index_t n_total = 0;     ///< dimension of the row-index space
+  index_t chunk_rows = 0;  ///< blocking granule the schedule was built with
+
+  /// Execution order: thread t runs items [thread_ptr[t] .. thread_ptr[t+1]);
+  /// item i covers rows[item_ptr[i] .. item_ptr[i+1]) (a contiguous chunk of
+  /// one (level, thread) slice, executed in stored order).
+  std::vector<index_t> thread_ptr;
+  std::vector<index_t> item_ptr;
+  std::vector<index_t> rows;
+
+  /// Sparsified waits, per ITEM (consumed by the P2P backend; the barrier
+  /// backend synchronizes with one barrier per level instead): before
+  /// executing item i, wait until wait_thread[w] has published wait_count[w]
+  /// items, for w in [wait_ptr[i], wait_ptr[i+1]).
+  std::vector<index_t> wait_ptr;
+  std::vector<index_t> wait_thread;
+  std::vector<index_t> wait_count;
+
+  /// Retained level structure: level l covers
+  /// serial_order[level_ptr[l] .. level_ptr[l+1]). serial_order (level-major
+  /// row listing) doubles as the dependency-safe serial execution order and,
+  /// with level_ptr, as the input retarget() rebuilds from.
+  std::vector<index_t> level_ptr;
+  std::vector<index_t> serial_order;
+
+  // --- statistics ----------------------------------------------------------
+  index_t deps_total = 0;  ///< cross-thread dependencies before pruning
+  index_t deps_kept = 0;   ///< spin-waits actually stored
+  index_t num_levels = 0;  ///< also the barrier count per CSR-LS sweep
+
+  index_t num_rows() const noexcept { return static_cast<index_t>(rows.size()); }
+  index_t num_items() const noexcept {
+    return item_ptr.empty() ? 0 : static_cast<index_t>(item_ptr.size()) - 1;
+  }
+  index_t max_items_per_thread() const noexcept {
+    if (thread_ptr.empty()) return 0;  // default-constructed schedule
+    index_t m = 0;
+    for (int t = 0; t < threads; ++t) {
+      m = std::max(m, thread_ptr[static_cast<std::size_t>(t) + 1] -
+                          thread_ptr[static_cast<std::size_t>(t)]);
+    }
+    return m;
+  }
+
+  /// Producer lookup for consumers synchronizing against this schedule from
+  /// OUTSIDE it (the fused solve+SpMV phase): owner[r] is the executing
+  /// thread of row r (kInvalidIndex if unscheduled) and item_of[r] the
+  /// 0-based item position within that thread, i.e. a consumer must
+  /// wait_for(owner[r], item_of[r] + 1).
+  void producer_positions(std::vector<index_t>& owner,
+                          std::vector<index_t>& item_of) const;
+};
+
+/// Yields the dependency rows of a given row (rows that must complete
+/// first). Dependencies outside the scheduled row set are ignored (they are
+/// satisfied by construction — e.g. upper-stage rows for the corner).
+using DepsFn = std::function<void(index_t row, const std::function<void(index_t)>& yield)>;
+
+/// Build-time helper shared by the schedule builder and the fused-SpMV
+/// companion (build_fused_apply_spmv): two-pass (count, fill) sparsified
+/// wait-list construction with monotone per-producer high-water pruning.
+/// Thread t executes consumers [consumer_thread_ptr[t],
+/// consumer_thread_ptr[t+1]) in order. `seed` pre-loads the thread's
+/// high-water marks with counts it has already waited for before its first
+/// consumer (empty function = none). `deps(t, c, yield)` enumerates consumer
+/// c's CROSS-thread dependencies as (producer thread, required published
+/// count) — same-thread dependencies must be filtered by the caller. On
+/// return wait_ptr/wait_thread/wait_count hold the pruned CSR-style wait
+/// lists and deps_total/deps_kept the before/after dependency counts.
+using WaitSeedFn = std::function<void(int t, std::span<index_t> last_wait)>;
+using WaitDepsFn = std::function<void(
+    int t, index_t consumer,
+    const std::function<void(index_t producer_thread, index_t count)>& yield)>;
+
+void build_sparsified_waits(int threads,
+                            std::span<const index_t> consumer_thread_ptr,
+                            const WaitSeedFn& seed, const WaitDepsFn& deps,
+                            std::vector<index_t>& wait_ptr,
+                            std::vector<index_t>& wait_thread,
+                            std::vector<index_t>& wait_count,
+                            index_t& deps_total, index_t& deps_kept);
+
+/// Default rows per item; the sweep kernels are memory-bound, so a modest
+/// block already hides the wait/publish latency without delaying consumers.
+inline constexpr index_t kDefaultChunkRows = 32;
+
+/// Build a schedule from explicit level sets (level-major lists of rows).
+/// `levels_rows` / `levels_ptr` follow the LevelSets layout. `deps` is
+/// consulted once per row at build time. `chunk_rows` bounds the rows per
+/// item (blocking granule); values < 1 are clamped to 1. The wait lists are
+/// built for EITHER backend (they are what retarget() and a later backend
+/// switch rely on); the barrier executor simply never consults them.
+ExecSchedule build_exec_schedule(ExecBackend backend, index_t n_total,
+                                 std::span<const index_t> level_ptr,
+                                 std::span<const index_t> rows_by_level,
+                                 const DepsFn& deps, int threads,
+                                 index_t chunk_rows = kDefaultChunkRows);
+
+/// Re-plan `s` for a new team size: re-chunk the (level, thread) slices and
+/// rebuild the sparsified waits from the retained level structure. `deps`
+/// must enumerate the same dependencies the schedule was originally built
+/// with (ilu/retarget.hpp supplies them from the factor). The result is
+/// bitwise-identical — every field — to a fresh build at `threads`
+/// (asserted by test_exec).
+ExecSchedule retarget(const ExecSchedule& s, const DepsFn& deps, int threads);
+
+/// Dependency enumerators of the triangular-factor schedules, exposed so
+/// consumers can retarget without re-deriving them. The returned closures
+/// hold a pointer to `lu`, which must outlive them.
+DepsFn lower_triangular_deps(const CsrMatrix& lu);  ///< strictly-lower cols
+DepsFn upper_triangular_deps(const CsrMatrix& lu);  ///< strictly-upper cols
+
+/// Forward schedule for the upper stage of a two-stage plan: rows
+/// [0, n_upper) with contiguous levels; dependencies are the strictly-lower
+/// columns of `lu` (which is both the factorization and the forward-solve
+/// dependency structure — the co-design of paper §VI).
+ExecSchedule build_upper_forward_schedule(const CsrMatrix& lu,
+                                          std::span<const index_t> upper_level_ptr,
+                                          ExecBackend backend, int threads,
+                                          index_t chunk_rows = kDefaultChunkRows);
+
+/// Backward schedule over ALL rows: dependencies are the strictly-upper
+/// columns of `lu`; levels computed on that pattern, processed high-to-low.
+ExecSchedule build_backward_schedule(const CsrMatrix& lu, ExecBackend backend,
+                                     int threads,
+                                     index_t chunk_rows = kDefaultChunkRows);
+
+}  // namespace javelin

@@ -1,20 +1,53 @@
 // The complete Javelin factorization object: symbolic pattern, two-stage
-// plan, point-to-point schedules (factorization + forward solve share one;
-// backward solve has its own), and the numeric factor itself. Built once,
-// then reused by thousands of triangular solves (paper §VI: "the incomplete
-// factorization may only be formed once, but stri may be called thousands
-// of times").
+// plan, execution schedules (factorization + forward solve share one;
+// backward solve has its own; both run under the pluggable exec/ backend —
+// P2P spin-waits or barrier CSR-LS), and the numeric factor itself. Built
+// once, then reused by thousands of triangular solves (paper §VI: "the
+// incomplete factorization may only be formed once, but stri may be called
+// thousands of times").
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "javelin/exec/schedule.hpp"
 #include "javelin/ilu/options.hpp"
 #include "javelin/ilu/plan.hpp"
-#include "javelin/ilu/schedule.hpp"
 #include "javelin/ilu/symbolic.hpp"
 #include "javelin/sparse/csr.hpp"
 
 namespace javelin {
+
+struct Factorization;
+struct FusedApplySpmv;
+
+/// Consumer-side cache of schedules re-planned (retargeted) for a runtime
+/// team that differs from the factor-time plan. One immutable factor can
+/// serve many solvers: each keeps its own cache (SolveWorkspace embeds one)
+/// and the factor itself carries one for the numeric refactorization path.
+/// Copying yields an EMPTY cache — retargeted schedules are scratch,
+/// rebuilt on demand.
+struct ScheduleCache {
+  int threads = 0;  ///< team the cached schedules target; 0 = empty
+  ExecSchedule fwd, bwd;
+  /// Fused-SpMV companion rebuilt against `bwd` (filled lazily by
+  /// ilu_apply_spmv; null until the fused path retargets). The chunk wait
+  /// lists depend on A's column structure, so the cache records which A it
+  /// was built from — by address, nnz AND column-array address, so a
+  /// recycled heap address alone cannot serve stale chunks for a different
+  /// matrix.
+  std::unique_ptr<FusedApplySpmv> fused;
+  const CsrMatrix* fused_matrix = nullptr;
+  const index_t* fused_cols = nullptr;
+  index_t fused_nnz = 0;
+
+  ScheduleCache();
+  ScheduleCache(const ScheduleCache&);  ///< copies as empty
+  ScheduleCache(ScheduleCache&&) noexcept;
+  ScheduleCache& operator=(const ScheduleCache&);  ///< resets to empty
+  ScheduleCache& operator=(ScheduleCache&&) noexcept;
+  ~ScheduleCache();
+};
 
 /// One tile of the SR lower stage: a contiguous nonzero range of one lower
 /// row falling inside one upper level's column range (tiles never split a
@@ -61,14 +94,19 @@ struct Factorization {
   CsrMatrix lu;
   std::vector<index_t> diag_pos;
 
-  /// Upper-stage point-to-point schedule (factorization + forward solve).
-  P2PSchedule fwd;
+  /// Upper-stage schedule (factorization + forward solve), built for the
+  /// backend opts.exec_backend selects.
+  ExecSchedule fwd;
   /// Backward-solve schedule over all rows.
-  P2PSchedule bwd;
+  ExecSchedule bwd;
   /// SR tiling (empty unless plan.method == kSegmentedRows).
   SrTiling sr;
-  /// Level sets of the corner block (only when opts.parallel_corner).
-  LevelSets corner_levels;
+  /// Barrier level-set schedule of the corner block, over LOCAL row indices
+  /// [0, num_lower_rows) (only when opts.parallel_corner).
+  ExecSchedule corner;
+  /// Retargeted schedules for a refactorization team that differs from the
+  /// plan (ilu_factor_numeric); solves cache in their workspace instead.
+  ScheduleCache numeric_cache;
 
   /// Persistent refactor scatter map: a_scatter[k] is the position in
   /// lu.values() receiving the k-th nonzero of the (unpermuted) input
@@ -114,5 +152,27 @@ void scatter_values_searched(Factorization& f, const CsrMatrix& a);
 /// adjacent same-level tiles into tasks of up to tile_nnz nonzeros.
 SrTiling build_sr_tiling(const CsrMatrix& lu, const TwoStagePlan& plan,
                          index_t tile_nnz);
+
+// --- runtime retargeting (ilu/retarget.cpp) --------------------------------
+
+/// The team a sweep over `f` should launch right now: the factor-time plan,
+/// clamped by the current OpenMP runtime setting (omp_set_num_threads /
+/// OMP_NUM_THREADS) and — when opts.retarget_oversubscribed — by the
+/// hardware core count. Never less than 1.
+int runtime_team(const Factorization& f);
+
+/// Schedules matching runtime_team(f): the factor's own when the team equals
+/// the plan, otherwise re-planned through `cache` (both directions rebuilt
+/// together, and only when the team changed since the cache was filled).
+/// Retargeted schedules are bitwise-identical to a fresh build at that team
+/// (test_exec), so no solve path ever degrades to a serial sweep on a
+/// team-size mismatch — it re-plans.
+const ExecSchedule& runtime_fwd(const Factorization& f, ScheduleCache& cache);
+const ExecSchedule& runtime_bwd(const Factorization& f, ScheduleCache& cache);
+
+/// Flip every schedule of `f` (and its option block) to `backend` in place —
+/// legal at any time because both backends share one schedule structure
+/// (the bench uses this to race P2P against CSR-LS on one factor).
+void set_exec_backend(Factorization& f, ExecBackend backend);
 
 }  // namespace javelin

@@ -8,6 +8,7 @@
 
 #include <span>
 
+#include "javelin/exec/run.hpp"
 #include "javelin/ilu/factorization.hpp"
 #include "javelin/ilu/solve.hpp"
 #include "javelin/ilu/trsv_kernels.hpp"
@@ -31,18 +32,20 @@ void forward_sweep(const Factorization& f, RhsFn rhs, std::span<value_t> x,
   const index_t n_upper = f.plan.n_upper;
   const index_t n_lower = n - n_upper;
 
-  // Upper-stage rows: same schedule, same spin-waits as the factorization.
+  // Upper-stage rows: same schedule, same synchronization as the
+  // factorization, retargeted when the runtime team differs from the plan.
   // lower_partial reads only columns < r, whose completion the schedule's
-  // waits guarantee.
-  p2p_execute(
-      f.fwd,
+  // waits (or level barriers) guarantee.
+  const ExecSchedule& fwd = runtime_fwd(f, ws.sched);
+  exec_run(
+      fwd,
       [&](index_t r, int) {
         x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, r, x, 0);
       },
       ws.progress);
 
   if (n_lower == 0) return;
-  if (f.fwd.threads <= 1 || n_lower < 64) {
+  if (fwd.threads <= 1 || n_lower < 64) {
     // Small tail: plain ordered sweep (corner coupling resolved in order).
     for (index_t r = n_upper; r < n; ++r) {
       x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, n, x, 0);

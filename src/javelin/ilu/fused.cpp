@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "javelin/exec/run.hpp"
 #include "javelin/ilu/forward_sweep.hpp"
 #include "javelin/ilu/trsv_kernels.hpp"
 #include "javelin/sparse/ops.hpp"
@@ -14,27 +15,29 @@ using detail::backward_row;
 using detail::lower_partial;
 using detail::spmv_row;
 
-FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
+FusedApplySpmv build_fused_apply_spmv(const ExecSchedule& bwd,
+                                      const TwoStagePlan& plan,
                                       const CsrMatrix& a, index_t chunk_rows) {
-  JAVELIN_CHECK(a.rows() == f.n() && a.cols() == f.n(),
+  JAVELIN_CHECK(a.rows() == plan.n && a.cols() == plan.n,
                 "fused apply+spmv requires A with the factor's dimension");
   FusedApplySpmv fs;
-  const int T = f.bwd.threads;
+  const int T = bwd.threads;
   fs.threads = T;
-  fs.n = f.n();
+  fs.n = plan.n;
+  fs.chunk_rows = std::max<index_t>(1, chunk_rows);
   fs.thread_ptr.assign(static_cast<std::size_t>(std::max(T, 1)) + 1, 0);
   if (T <= 1) return fs;  // the serial path never consults the chunks
 
   // Producer lookup: which backward item finishes each permuted row.
   std::vector<index_t> owner, item_of;
-  f.bwd.producer_positions(owner, item_of);
+  bwd.producer_positions(owner, item_of);
   // Column c of A is finished by permuted row to_perm[c] of the backward
   // sweep (to_perm inverts the plan's new-to-old permutation).
-  const std::vector<index_t> to_perm = invert_permutation(f.plan.perm);
+  const std::vector<index_t> to_perm = invert_permutation(plan.perm);
 
   // nnz-balanced thread ranges, blocked into chunks. The chunk is the wait
   // granule: one merged wait list amortized over chunk_rows rows.
-  const index_t chunk = std::max<index_t>(1, chunk_rows);
+  const index_t chunk = fs.chunk_rows;
   const RowPartition part = RowPartition::build(a, T);
   for (int t = 0; t < T; ++t) {
     const index_t lo = part.bounds[static_cast<std::size_t>(t)];
@@ -50,7 +53,6 @@ FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
   // thread has already performed every wait of its OWN backward items before
   // it reaches the SpMV phase (program order), so those high-water marks
   // seed the pruning.
-  const P2PSchedule& bwd = f.bwd;
   build_sparsified_waits(
       T, fs.thread_ptr,
       /*seed=*/
@@ -84,6 +86,11 @@ FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
   return fs;
 }
 
+FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
+                                      const CsrMatrix& a, index_t chunk_rows) {
+  return build_fused_apply_spmv(f.bwd, f.plan, a, chunk_rows);
+}
+
 namespace {
 
 /// Forward sweep with the rhs gather folded into each row: on exit
@@ -102,8 +109,10 @@ void fused_forward(const Factorization& f, std::span<const value_t> rv,
 }
 
 /// Straight-line backward sweep (scatter folded in) followed by the full
-/// SpMV — shared by the serial execution policy and the team-shrank runtime
-/// fallback so the two zero-synchronization paths cannot drift apart.
+/// SpMV — the single-thread execution of the fused pass (a schedule
+/// retargeted to T = 1) and the last-resort path when a parallel region
+/// delivers a short team. One implementation so the zero-synchronization
+/// paths cannot drift apart.
 void serial_backward_spmv(const Factorization& f, const CsrMatrix& a,
                           std::span<value_t> x, std::span<value_t> z,
                           std::span<value_t> t) {
@@ -131,13 +140,19 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
   const auto& perm = f.plan.perm;
   const CsrMatrix& lu = f.lu;
   std::span<value_t> x(ws.x);
-  const P2PSchedule& s = f.bwd;
 
-  if (s.threads <= 1 || (fs.auto_serial && team_oversubscribed(s.threads))) {
-    // Serial single-sweep policy: planned-team spin scheduling cannot win
-    // without real cores, so run gather+forward, backward+scatter and the
-    // SpMV as straight-line sweeps with zero synchronization. Same
-    // accumulation orders — bitwise-identical to the scheduled path.
+  // Runtime team selection: re-plan the backward schedule AND the SpMV
+  // chunk structure when the team differs from the factor-time plan
+  // (replaces the old oversubscription→serial policy — a mismatched team
+  // retargets; only T = 1 runs the straight-line sweep, as its own plan).
+  const ExecSchedule* s = &f.bwd;
+  const FusedApplySpmv* chunks = &fs;
+  const int team = runtime_team(f);
+  if (team <= 1 || f.bwd.threads <= 1) {
+    // Single-thread team: gather+forward, backward+scatter and the SpMV as
+    // straight-line sweeps with zero synchronization — no point building
+    // schedules this path never reads. Same accumulation orders —
+    // bitwise-identical to the scheduled path.
     for (index_t row = 0; row < n; ++row) {
       x[static_cast<std::size_t>(row)] =
           r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] -
@@ -146,59 +161,112 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
     serial_backward_spmv(f, a, x, z, t);
     return;
   }
+  if (team != f.bwd.threads) {
+    (void)runtime_bwd(f, ws.sched);  // fills ws.sched for `team`
+    // The chunk wait lists depend on A's column structure, so the cache is
+    // keyed on the matrix as well as the team — address, nnz and column
+    // array together, so a recycled allocation cannot alias a different
+    // matrix into a stale chunk structure.
+    if (!ws.sched.fused || ws.sched.fused->threads != team ||
+        ws.sched.fused_matrix != &a || ws.sched.fused_nnz != a.nnz() ||
+        ws.sched.fused_cols != a.col_idx().data() ||
+        ws.sched.fused->chunk_rows != fs.chunk_rows) {
+      ws.sched.fused = std::make_unique<FusedApplySpmv>(
+          build_fused_apply_spmv(ws.sched.bwd, f.plan, a, fs.chunk_rows));
+      ws.sched.fused_matrix = &a;
+      ws.sched.fused_cols = a.col_idx().data();
+      ws.sched.fused_nnz = a.nnz();
+    }
+    s = &ws.sched.bwd;
+    chunks = ws.sched.fused.get();
+  }
 
   fused_forward(f, r, x, ws);
 
   bool fallback = false;
   {
     ProgressCounters& progress = ws.progress;
-    if (progress.num_threads() < s.threads) {
-      progress.reset(s.threads);
-    } else {
-      progress.rearm();
+    if (s->backend == ExecBackend::kP2P) {
+      if (progress.num_threads() < s->threads) {
+        progress.reset(s->threads);
+      } else {
+        progress.rearm();
+      }
     }
+    SpinBarrier level_barrier(s->threads);
     // One region for the backward sweep AND the SpMV: each thread solves its
     // backward items (scattering finished entries straight into z), then
-    // streams its A-row chunks behind the sweep on the same counters.
-#pragma omp parallel num_threads(s.threads)
+    // streams its A-row chunks behind the sweep — guarded by sparsified
+    // waits on the same counters (P2P) or by the final level barrier
+    // (CSR-LS). The sweep halves mirror exec_run (exec/run.hpp) with the
+    // scatter fused into the row loop and the SpMV epilogue interleaved on
+    // the same counters — keep the synchronization structure in sync with
+    // exec_run when changing either.
+#pragma omp parallel num_threads(s->threads)
     {
-      // Uniform team-size verdict, no single+barrier round (see
-      // p2p_execute).
-      if (team_size() < s.threads) {
+      // Uniform team-size verdict, no single+barrier round (see exec_run).
+      if (team_size() < s->threads) {
         if (thread_id() == 0) fallback = true;  // sole writer
       } else {
         const int tid = thread_id();
-        const int spin_budget = spin_budget_for(s.threads);
-        index_t done = 0;
-        for (index_t i = s.thread_ptr[static_cast<std::size_t>(tid)];
-             i < s.thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
-          for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
-               w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
-            progress.wait_for(
-                static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
-                s.wait_count[static_cast<std::size_t>(w)], spin_budget);
+        const int spin_budget = spin_budget_for(s->threads);
+        if (s->backend == ExecBackend::kBarrier) {
+          for (index_t l = 0; l < s->num_levels; ++l) {
+            const index_t base = s->level_ptr[static_cast<std::size_t>(l)];
+            const index_t lsz =
+                s->level_ptr[static_cast<std::size_t>(l) + 1] - base;
+            const Range rr = partition_range(lsz, s->threads, tid);
+            for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
+              const index_t row =
+                  s->serial_order[static_cast<std::size_t>(k)];
+              backward_row(lu, f.diag_pos, row, x);
+              z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+                  x[static_cast<std::size_t>(row)];
+            }
+            level_barrier.arrive_and_wait(spin_budget);
           }
-          for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
-               k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-            const index_t row = s.rows[static_cast<std::size_t>(k)];
-            backward_row(lu, f.diag_pos, row, x);
-            z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
-                x[static_cast<std::size_t>(row)];
+          // The last level barrier ordered every z entry before this point;
+          // the SpMV chunks run unguarded.
+          for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
+            for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
+                 row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
+              t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+            }
           }
-          ++done;
-          progress.publish(tid, done);
-        }
-        for (index_t c = fs.thread_ptr[static_cast<std::size_t>(tid)];
-             c < fs.thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
-          for (index_t w = fs.wait_ptr[static_cast<std::size_t>(c)];
-               w < fs.wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
-            progress.wait_for(
-                static_cast<int>(fs.wait_thread[static_cast<std::size_t>(w)]),
-                fs.wait_count[static_cast<std::size_t>(w)], spin_budget);
+        } else {
+          index_t done = 0;
+          for (index_t i = s->thread_ptr[static_cast<std::size_t>(tid)];
+               i < s->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
+            for (index_t w = s->wait_ptr[static_cast<std::size_t>(i)];
+                 w < s->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+              progress.wait_for(
+                  static_cast<int>(s->wait_thread[static_cast<std::size_t>(w)]),
+                  s->wait_count[static_cast<std::size_t>(w)], spin_budget);
+            }
+            for (index_t k = s->item_ptr[static_cast<std::size_t>(i)];
+                 k < s->item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+              const index_t row = s->rows[static_cast<std::size_t>(k)];
+              backward_row(lu, f.diag_pos, row, x);
+              z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+                  x[static_cast<std::size_t>(row)];
+            }
+            ++done;
+            progress.publish(tid, done);
           }
-          for (index_t row = fs.chunk_begin[static_cast<std::size_t>(c)];
-               row < fs.chunk_end[static_cast<std::size_t>(c)]; ++row) {
-            t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+          for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
+            for (index_t w = chunks->wait_ptr[static_cast<std::size_t>(c)];
+                 w < chunks->wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
+              progress.wait_for(
+                  static_cast<int>(
+                      chunks->wait_thread[static_cast<std::size_t>(w)]),
+                  chunks->wait_count[static_cast<std::size_t>(w)], spin_budget);
+            }
+            for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
+                 row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
+              t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+            }
           }
         }
       }

@@ -19,6 +19,11 @@
 // permute-out), two parallel-region fork/joins and the solve→SpMV barrier,
 // while every row keeps its fixed CSR-order accumulation — the fused and
 // unfused paths are bitwise-identical at any thread count.
+//
+// Under the barrier (CSR-LS) backend the same region runs the backward
+// levels barrier-to-barrier and starts the SpMV chunks after the final
+// level barrier — no sparsified cross-schedule waits, but still one region
+// and zero extra vector passes, so the backend comparison stays honest.
 #pragma once
 
 #include <span>
@@ -45,18 +50,15 @@ struct FusedApplySpmv {
 
   /// Sparsified waits per chunk, on the BACKWARD schedule's item counters:
   /// before chunk c, wait until wait_thread[w] has published wait_count[w]
-  /// backward items, for w in [wait_ptr[c], wait_ptr[c+1]).
+  /// backward items, for w in [wait_ptr[c], wait_ptr[c+1]). (The barrier
+  /// backend never consults them: the level barriers of the backward sweep
+  /// already order the whole solve before the SpMV phase.)
   std::vector<index_t> wait_ptr;
   std::vector<index_t> wait_thread;
   std::vector<index_t> wait_count;
 
-  /// Execution-policy autotune (first slice of ROADMAP's thread-count
-  /// autotuning): when true and the planned team would OVERSUBSCRIBE the
-  /// hardware, ilu_apply_spmv runs the whole fused pass as one serial sweep
-  /// — P2P spin scheduling needs real cores, and the serial sweep is
-  /// bitwise-identical (asserted by test_fused), so only latency changes.
-  /// Tests pin this to false to force the scheduled path.
-  bool auto_serial = true;
+  /// Rows per SpMV chunk the companion was built with (reused on retarget).
+  index_t chunk_rows = 0;
 
   // --- statistics ----------------------------------------------------------
   index_t deps_total = 0;  ///< cross-thread column dependencies before pruning
@@ -67,17 +69,32 @@ struct FusedApplySpmv {
   }
 };
 
+/// Default rows per fused-SpMV chunk.
+inline constexpr index_t kDefaultSpmvChunkRows = 1024;
+
+/// Build the fused-SpMV companion against an explicit backward schedule
+/// (the retarget path rebuilds through this for the runtime team). `plan`
+/// supplies the permutation; `a` is square with the factor's dimension.
+FusedApplySpmv build_fused_apply_spmv(const ExecSchedule& bwd,
+                                      const TwoStagePlan& plan,
+                                      const CsrMatrix& a,
+                                      index_t chunk_rows = kDefaultSpmvChunkRows);
+
 /// Build the fused-SpMV companion for factor `f` and matrix `a` (square,
 /// same dimension as the factor; in Krylov use `a` is the matrix `f` was
 /// factored from). `chunk_rows` bounds the rows per SpMV chunk.
 FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
                                       const CsrMatrix& a,
-                                      index_t chunk_rows = 1024);
+                                      index_t chunk_rows = kDefaultSpmvChunkRows);
 
 /// z = (LU)^{-1} r and t = A z in one fused pass. r, z and t are in the
 /// ORIGINAL row ordering and must not alias each other. Bitwise-identical to
 /// `ilu_apply(f, r, z, ws)` followed by `spmv(a, part, z, t)` at any thread
-/// count. Thread-safe across distinct workspaces.
+/// count. When the runtime team differs from the factor-time plan the whole
+/// fused pass — backward schedule AND SpMV chunks — is retargeted through
+/// ws.sched (a team of one runs the straight-line serial sweep, which is
+/// that team's schedule, not a fallback). Thread-safe across distinct
+/// workspaces.
 void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
                     const FusedApplySpmv& fs, std::span<const value_t> r,
                     std::span<value_t> z, std::span<value_t> t,

@@ -3,6 +3,7 @@
 // and the planner sensitivity knobs of Tables III/IV).
 #pragma once
 
+#include "javelin/exec/backend.hpp"
 #include "javelin/graph/levels.hpp"
 #include "javelin/support/types.hpp"
 
@@ -60,6 +61,21 @@ struct IluOptions {
   bool parallel_corner = false;
   /// Thread count to plan for; <= 0 means use the OpenMP default.
   int num_threads = 0;
+
+  // --- execution backend ---------------------------------------------------
+  /// Synchronization strategy of the factorization/solve schedules:
+  /// point-to-point sparsified spin-waits (the paper's contribution) or the
+  /// classic barrier-synchronized level-set sweep (CSR-LS, the §VI
+  /// baseline). Both are bitwise-identical at any team size; only the
+  /// synchronization cost differs.
+  ExecBackend exec_backend = ExecBackend::kP2P;
+  /// Runtime-team autotune (first slice of the ROADMAP thread-count item):
+  /// when a SOLVE would launch the planned team onto fewer hardware cores
+  /// than threads, re-plan (retarget) the schedules down to the core count
+  /// instead of spinning more threads than cores. A runtime
+  /// omp_set_num_threads below the plan always retargets, independent of
+  /// this flag. Tests pin false to force planned-width scheduled execution.
+  bool retarget_oversubscribed = true;
 };
 
 }  // namespace javelin

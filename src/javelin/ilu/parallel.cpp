@@ -10,7 +10,9 @@
 #include <memory>
 #include <string>
 
+#include "javelin/exec/run.hpp"
 #include "javelin/ilu/factorization.hpp"
+#include "javelin/ilu/fused.hpp"  // completes FusedApplySpmv for the cache
 #include "javelin/ilu/row_kernel.hpp"
 #include "javelin/sparse/ops.hpp"
 #include "javelin/support/parallel.hpp"
@@ -43,13 +45,15 @@ void throw_pivot(index_t row) {
 
 /// Corner factorization (paper: FACTOR_LU): eliminate lower rows against
 /// each other, restricted to corner columns [n_upper, row). Serial by
-/// default; optionally level-scheduled in parallel.
+/// default; optionally level-scheduled through the barrier (CSR-LS)
+/// execution backend — the corner is small by construction, so per-level
+/// barriers beat spin-wait sparsification there.
 void factor_corner(Factorization& f, WorkspacePool& pool) {
   const TwoStagePlan& plan = f.plan;
   const RowKernelParams params = kernel_params(f.opts);
   FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
   if (!f.opts.parallel_corner || plan.num_lower_rows() < 2 * plan.threads ||
-      f.corner_levels.num_levels() == 0) {
+      f.corner.num_levels == 0) {
     RowWorkspace& ws = pool.get(0);
     for (index_t r = plan.n_upper; r < plan.n; ++r) {
       mark_row(fv, r, ws);
@@ -58,25 +62,22 @@ void factor_corner(Factorization& f, WorkspacePool& pool) {
     }
     return;
   }
-  // Parallel corner: barrier level-sets over the corner pattern. The corner
-  // is small by construction, so a simple level loop suffices here.
   std::atomic<index_t> bad{kInvalidIndex};
-  const LevelSets& cls = f.corner_levels;
-  for (index_t l = 0; l < cls.num_levels(); ++l) {
-    const auto rows = cls.level_rows(l);
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows.size()); ++i) {
-      const index_t r = plan.n_upper + rows[static_cast<std::size_t>(i)];
-      RowWorkspace& ws = pool.get(thread_id());
-      mark_row(fv, r, ws);
-      eliminate_window(fv, r, plan.n_upper, r, ws, params);
-      if (!finish_row(fv, r, params)) {
-        index_t expect = kInvalidIndex;
-        bad.compare_exchange_strong(expect, r);
-      }
+  exec_run(f.corner, [&](index_t local, int t) {
+    // Once a pivot failed, skip the remaining rows: the level barriers make
+    // the flag visible to every later level, so the reported row stays in
+    // the FIRST failing level instead of a downstream inf/NaN cascade row.
+    if (bad.load(std::memory_order_relaxed) != kInvalidIndex) return;
+    const index_t r = plan.n_upper + local;
+    RowWorkspace& ws = pool.get(t);
+    mark_row(fv, r, ws);
+    eliminate_window(fv, r, plan.n_upper, r, ws, params);
+    if (!finish_row(fv, r, params)) {
+      index_t expect = kInvalidIndex;
+      bad.compare_exchange_strong(expect, r);
     }
-    if (bad.load() != kInvalidIndex) throw_pivot(bad.load());
-  }
+  });
+  if (bad.load() != kInvalidIndex) throw_pivot(bad.load());
 }
 
 /// Even-Rows phase one (paper Fig. 8 FACTOR_L): every lower row eliminates
@@ -306,9 +307,26 @@ void ilu_factor_numeric(Factorization& f) {
   const RowKernelParams params = kernel_params(f.opts);
   FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
 
-  // Upper stage: point-to-point level-scheduled up-looking rows.
+  // Upper stage: level-scheduled up-looking rows under the factor's
+  // execution backend. A refactorization team dialed below the plan
+  // (omp_set_num_threads after factoring — the time-stepping use case)
+  // retargets the schedule through the factor's own cache instead of
+  // degrading to the serial order. The one-shot factor phase deliberately
+  // skips the oversubscription clamp: the plan width was an explicit
+  // request, and the numeric phase runs once, not thousands of times.
+  const int team = std::max(1, std::min(plan.threads, max_threads()));
+  const ExecSchedule* fwd = &f.fwd;
+  if (team != f.fwd.threads) {
+    if (f.numeric_cache.threads != team) {
+      f.numeric_cache.fwd = retarget(f.fwd, lower_triangular_deps(f.lu), team);
+      f.numeric_cache.bwd = ExecSchedule{};  // numeric phase never sweeps bwd
+      f.numeric_cache.fused.reset();
+      f.numeric_cache.threads = team;
+    }
+    fwd = &f.numeric_cache.fwd;
+  }
   std::atomic<index_t> bad{kInvalidIndex};
-  p2p_execute(f.fwd, [&](index_t r, int t) {
+  exec_run(*fwd, [&](index_t r, int t) {
     RowWorkspace& ws = pool.get(t);
     if (!factor_row(fv, r, ws, params)) {
       index_t expect = kInvalidIndex;
@@ -349,13 +367,16 @@ Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
   const index_t chunk =
       opts.p2p_chunk_rows > 0 ? opts.p2p_chunk_rows : kDefaultChunkRows;
   f.fwd = build_upper_forward_schedule(f.lu, f.plan.upper_level_ptr,
-                                       f.plan.threads, chunk);
-  f.bwd = build_backward_schedule(f.lu, f.plan.threads, chunk);
+                                       opts.exec_backend, f.plan.threads,
+                                       chunk);
+  f.bwd = build_backward_schedule(f.lu, opts.exec_backend, f.plan.threads,
+                                  chunk);
   if (f.plan.method == LowerMethod::kSegmentedRows) {
     f.sr = build_sr_tiling(f.lu, f.plan, opts.sr_tile_nnz);
   }
   if (opts.parallel_corner && f.plan.num_lower_rows() > 0) {
-    // Level sets of the corner block pattern (lower rows, corner columns).
+    // Barrier level-set schedule over the corner block pattern (lower rows,
+    // corner columns), in LOCAL indices [0, n_lower).
     const index_t n_lower = f.plan.num_lower_rows();
     std::vector<index_t> rp(static_cast<std::size_t>(n_lower) + 1, 0);
     std::vector<index_t> ci;
@@ -367,8 +388,13 @@ Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
       rp[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(ci.size());
     }
     std::vector<value_t> vv(ci.size(), 1.0);
-    f.corner_levels = compute_level_sets_lower(
-        CsrMatrix(n_lower, n_lower, std::move(rp), std::move(ci), std::move(vv)));
+    const CsrMatrix corner_pat(n_lower, n_lower, std::move(rp), std::move(ci),
+                               std::move(vv));
+    const LevelSets cls = compute_level_sets_lower(corner_pat);
+    f.corner = build_exec_schedule(ExecBackend::kBarrier, n_lower,
+                                   cls.level_ptr, cls.rows_by_level,
+                                   lower_triangular_deps(corner_pat),
+                                   f.plan.threads, chunk);
   }
 
   ilu_factor_numeric(f);

@@ -1,5 +1,6 @@
 #include "javelin/ilu/solve.hpp"
 
+#include "javelin/exec/run.hpp"
 #include "javelin/ilu/forward_sweep.hpp"
 #include "javelin/ilu/trsv_kernels.hpp"
 #include "javelin/support/parallel.hpp"
@@ -33,8 +34,9 @@ void trsv_forward(const Factorization& f, std::span<value_t> x,
 
 void trsv_backward(const Factorization& f, std::span<value_t> x,
                    SolveWorkspace& ws) {
-  p2p_execute(
-      f.bwd, [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); },
+  exec_run(
+      runtime_bwd(f, ws.sched),
+      [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); },
       ws.progress);
 }
 

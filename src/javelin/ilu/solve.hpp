@@ -2,14 +2,18 @@
 // factorization is co-designed for (paper §VI: "the incomplete factorization
 // may only be formed once, but stri may be called thousands of times").
 //
-// The forward (L) sweep reuses the SAME point-to-point schedule as the
+// The forward (L) sweep reuses the SAME execution schedule as the
 // upper-stage factorization (f.fwd): the dependency pattern of the forward
 // solve is exactly the strictly-lower pattern of the factor, so the
 // spin-wait sparsification built for the numeric phase is reused verbatim.
 // Lower-stage rows are swept ER-style: their upper-column partial sums are
 // embarrassingly parallel, and only the small corner coupling runs in row
 // order. The backward (U) sweep runs under f.bwd, with the diagonal scale
-// fused into the sweep — no separate D^{-1} pass over the vector.
+// fused into the sweep — no separate D^{-1} pass over the vector. Both
+// sweeps run under the exec/ backend the factor was built with (P2P or
+// barrier CSR-LS) and RETARGET through the workspace's ScheduleCache when
+// the runtime team differs from the factor-time plan — never a silent
+// serial fallback.
 //
 // All parallel sweeps are bitwise-identical to the serial reference: every
 // row's accumulation walks its CSR entries in the same ascending order, and
@@ -20,18 +24,22 @@
 #include <vector>
 
 #include "javelin/ilu/factorization.hpp"
+#include "javelin/support/spinwait.hpp"
 
 namespace javelin {
 
 /// Reusable scratch for repeated ilu_apply calls (permuted rhs/solution, the
-/// lower-stage partial sums, and the P2P progress counters both sweeps
-/// re-arm instead of reallocating). Kept outside the Factorization so
-/// multiple solves may share one immutable factor with private workspaces.
-/// Move-only: the counters are atomics.
+/// lower-stage partial sums, the P2P progress counters both sweeps re-arm
+/// instead of reallocating, and the retargeted-schedule cache the sweeps
+/// re-plan through when the runtime team differs from the factor-time
+/// plan). Kept outside the Factorization so multiple solves may share one
+/// immutable factor with private workspaces. Move-only: the counters are
+/// atomics.
 struct SolveWorkspace {
   std::vector<value_t> x;          ///< permuted vector being solved in place
   std::vector<value_t> lower_acc;  ///< partial sums of the lower-stage rows
   ProgressCounters progress;       ///< spin-wait counters reused every sweep
+  ScheduleCache sched;             ///< runtime-retargeted schedules (lazy)
 
   void resize(index_t n, index_t n_lower) {
     x.resize(static_cast<std::size_t>(n));

@@ -68,6 +68,34 @@ inline int spin_budget_for(int threads) noexcept {
   return team_oversubscribed(threads) ? 1 : kSpinsBeforeYield;
 }
 
+/// Bounded exponential backoff for busy-wait loops: pause-spin windows that
+/// double (1, 2, 4, … pauses) up to `max_pauses`, then escalate to
+/// std::this_thread::yield on every further miss. Short waits — the common
+/// case on a dedicated machine — stay in cheap pause territory; long waits
+/// and oversubscribed teams (max_pauses = spin_budget_for(team) = 1) hand
+/// the core to the producer almost immediately instead of starving it
+/// behind a spinner.
+class Backoff {
+ public:
+  explicit Backoff(int max_pauses) noexcept
+      : max_pauses_(max_pauses < 1 ? 1 : max_pauses) {}
+
+  /// One miss: burn the current pause window (doubling it) or yield once
+  /// the window is exhausted.
+  void miss() noexcept {
+    if (window_ <= max_pauses_) {
+      for (int i = 0; i < window_; ++i) cpu_pause();
+      window_ <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  int window_ = 1;
+  const int max_pauses_;
+};
+
 /// Per-thread monotone progress counters with acquire/release publication.
 ///
 /// Thread t executes its scheduled items in a fixed order; after finishing
@@ -106,24 +134,17 @@ class ProgressCounters {
         std::memory_order_acquire);
   }
 
-  /// Spin until thread `t` has published at least `count` items. Pure
-  /// pause-spin while the producer is likely running; after `spin_budget`
-  /// misses, yield the core so an oversubscribed producer (more threads
-  /// than cores) can be scheduled instead of starving behind the spinner.
-  /// Callers that know their team is oversubscribed pass
-  /// spin_budget_for(team) so the first miss yields immediately.
+  /// Spin until thread `t` has published at least `count` items, under
+  /// bounded exponential backoff: pause windows double up to `spin_budget`
+  /// pauses, then every further miss yields the core so an oversubscribed
+  /// producer (more threads than cores) can be scheduled instead of starving
+  /// behind the spinner. Callers that know their team is oversubscribed pass
+  /// spin_budget_for(team) so already the second miss yields.
   void wait_for(int t, index_t count,
                 int spin_budget = kSpinsBeforeYield) const noexcept {
     const auto& c = counters_[static_cast<std::size_t>(t)].value;
-    int spins = 0;
-    while (c.load(std::memory_order_acquire) < count) {
-      if (++spins < spin_budget) {
-        cpu_pause();
-      } else {
-        spins = 0;
-        std::this_thread::yield();
-      }
-    }
+    Backoff backoff(spin_budget);
+    while (c.load(std::memory_order_acquire) < count) backoff.miss();
   }
 
  private:
@@ -150,20 +171,26 @@ class SpinLock {
   std::atomic<bool> flag_{false};
 };
 
-/// Sense-reversing centralized barrier. Only used by the CSR-LS *baseline*
-/// triangular solve (paper §VI compares against it); Javelin's own stages
-/// never barrier between levels.
+/// Sense-reversing centralized barrier — the per-level synchronization of
+/// the CSR-LS (barrier level-set) execution backend (paper §VI compares
+/// point-to-point scheduling against exactly this); Javelin's own P2P
+/// backend never barriers between levels. Waiters degrade under the same
+/// bounded exponential backoff as the P2P spin-waits, so an oversubscribed
+/// barrier team yields instead of pause-storming.
 class SpinBarrier {
  public:
   explicit SpinBarrier(int parties) noexcept : parties_(parties) {}
 
-  void arrive_and_wait() noexcept {
+  void arrive_and_wait(int spin_budget = kSpinsBeforeYield) noexcept {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       arrived_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
-      while (sense_.load(std::memory_order_acquire) != my_sense) cpu_pause();
+      Backoff backoff(spin_budget);
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        backoff.miss();
+      }
     }
   }
 

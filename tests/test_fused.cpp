@@ -103,6 +103,7 @@ int main() {
     for (int threads : {1, 2, 4}) {
       IluOptions opts;
       opts.num_threads = threads;
+      opts.retarget_oversubscribed = false;  // force planned-width schedules
       auto [z, t] = check_operator_parity(e.name, *e.a, opts);
       if (z_ref.empty()) {
         z_ref = std::move(z);
@@ -120,6 +121,7 @@ int main() {
   {
     IluOptions opts;
     opts.num_threads = 4;
+    opts.retarget_oversubscribed = false;
     opts.lower_method = LowerMethod::kSegmentedRows;
     check_operator_parity("chain-sr", chain, opts);
     opts.fill_level = 1;
@@ -133,23 +135,24 @@ int main() {
     for (int threads : {1, 2, 4}) {
       IluOptions opts;
       opts.num_threads = threads;
+      opts.retarget_oversubscribed = false;  // force planned-width schedules
       check_solver_parity("pcg-grid", grid, /*spd=*/true, opts, &x_pcg);
       check_solver_parity("gmres-power", power, /*spd=*/false, opts, &x_gmres);
     }
   }
 
-  // Force the SCHEDULED fused path (auto_serial off) so the combined
-  // backward+SpMV region and its sparsified waits are exercised even on
-  // machines where the team oversubscribes the hardware and the autotune
-  // policy would pick the serial sweep.
+  // Force the SCHEDULED fused path (oversubscription retarget off) so the
+  // combined backward+SpMV region and its sparsified waits are exercised
+  // even on machines where the team oversubscribes the hardware and the
+  // autotune policy would re-plan down to the core count.
   for (const Entry& e : {Entry{"grid", &grid}, Entry{"fem", &fem},
                          Entry{"power", &power}, Entry{"chain", &chain}}) {
     for (int threads : {2, 4}) {
       IluOptions opts;
       opts.num_threads = threads;
+      opts.retarget_oversubscribed = false;  // force planned-width schedules
       Factorization f = ilu_factor(*e.a, opts);
       FusedApplySpmv fs = build_fused_apply_spmv(f, *e.a);
-      fs.auto_serial = false;
       const auto r = random_vector(e.a->rows(), 0xF00D);
       const std::size_t un = static_cast<std::size_t>(e.a->rows());
       std::vector<value_t> z_f(un), t_f(un), z_u(un), t_u(un);
@@ -169,6 +172,7 @@ int main() {
   {
     IluOptions opts;
     opts.num_threads = 4;
+    opts.retarget_oversubscribed = false;
     opts.p2p_chunk_rows = 1;
     auto [z1, t1] = check_operator_parity("grid-chunk1", grid, opts);
     opts.p2p_chunk_rows = 64;

@@ -72,6 +72,7 @@ int main() {
   for (int threads : {1, 2, 4}) {
     IluOptions opts;
     opts.num_threads = threads;
+    opts.retarget_oversubscribed = false;  // force planned-width schedules
     check_apply_parity("grid", grid, opts);
     check_apply_parity("fem", fem, opts);
     check_apply_parity("chain", chain, opts);

@@ -13,11 +13,23 @@
 // retargeted schedule).
 //
 //   javelin_bench [--scale S] [--threads 1,2,4] [--reps N] [--fill K]
+//                 [--tier small|large] [--streams 1,4,16,64]
 //                 [--matrices name1,name2] [--matrix file.mtx] [--out PATH]
 //
-// --matrices also accepts laplacian3d_<s> / laplacian2d_<s> (an s×s×s /
-// s×s grid Laplacian at full scale); --matrix (repeatable) benches real
-// SuiteSparse .mtx files alongside the synthetic analogs.
+// --matrices also accepts laplacian3d_<s> / laplacian2d_<s> / aniso3d_<s> /
+// jump3d_<s> (s×s×s or s×s grids at full scale); --matrix (repeatable)
+// benches real SuiteSparse .mtx files alongside the synthetic analogs.
+//
+// --tier large switches the default matrix list to the production-scale set
+// (the synthetic suite plus 128³ ≈ 2.1M-row 3-D problems). Matrices above
+// the trim threshold skip the Krylov/AMG races (hours at this scale on one
+// node) but keep the latency table, the schedule statistics and the batched
+// many-RHS throughput sweep: solves/sec of solve_many at k concurrent
+// right-hand sides per thread count, each point bitwise-checked against k
+// independent scalar applies.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +41,7 @@
 
 #include "javelin/amg/preconditioner.hpp"
 #include "javelin/gen/generators.hpp"
+#include "javelin/ilu/batch.hpp"
 #include "javelin/ilu/solve.hpp"
 #include "javelin/solver/krylov.hpp"
 #include "javelin/sparse/io.hpp"
@@ -41,12 +54,19 @@ using namespace javelin;
 
 namespace {
 
+/// Matrices at least this large skip the Krylov/AMG races (the latency
+/// table, schedule statistics and the batched throughput sweep still run).
+constexpr index_t kTrimRows = 500000;
+
 struct BenchConfig {
   double scale = 0.02;
   std::vector<int> threads = {1, 2, 4, 8};
   int reps = 3;
   int fill = 0;
-  std::vector<std::string> matrices;      // empty = whole suite
+  std::string tier = "small";
+  /// Concurrent right-hand-side counts of the throughput sweep.
+  std::vector<index_t> streams = {1, 4, 16, 64};
+  std::vector<std::string> matrices;      // empty = tier default list
   std::vector<std::string> matrix_files;  // Matrix-Market paths (--matrix)
   std::string out = "BENCH_javelin.json";
 };
@@ -83,6 +103,17 @@ BenchConfig parse_args(int argc, char** argv) {
       cfg.reps = std::max(1, std::atoi(next().c_str()));
     } else if (arg == "--fill") {
       cfg.fill = std::atoi(next().c_str());
+    } else if (arg == "--tier") {
+      cfg.tier = next();
+      if (cfg.tier != "small" && cfg.tier != "large") {
+        std::fprintf(stderr, "--tier must be small or large\n");
+        std::exit(2);
+      }
+    } else if (arg == "--streams") {
+      cfg.streams.clear();
+      for (const std::string& s : split_csv(next())) {
+        cfg.streams.push_back(static_cast<index_t>(std::atoi(s.c_str())));
+      }
     } else if (arg == "--matrices") {
       cfg.matrices = split_csv(next());
     } else if (arg == "--matrix") {
@@ -139,6 +170,24 @@ struct ThreadTimings {
   double ilu_pcg_s = -1;           // full ILU-PCG solve to 1e-8
 };
 
+/// One point of the batched-serving throughput sweep: solve_many over k
+/// concurrent right-hand sides, timed as one serving batch.
+struct StreamPoint {
+  index_t k = 0;
+  double batch_s = 0;        ///< wall time of one solve_many(k) batch
+  double solves_per_s = 0;   ///< k / batch_s
+  bool batched_parity = true;  ///< bitwise equal to k independent applies
+};
+
+/// Throughput rows run under the SERVING configuration (retarget on): a
+/// planned team that oversubscribes the machine re-plans to the core count,
+/// which is what a deployed many-RHS server would do.
+struct ThroughputRow {
+  int threads = 0;
+  double solve_1_s = 0;  ///< single-RHS scalar apply in the same config
+  std::vector<StreamPoint> points;
+};
+
 struct MatrixReport {
   std::string name;
   index_t n = 0;
@@ -160,8 +209,24 @@ struct MatrixReport {
   /// P2P and barrier backends bitwise-identical (ilu_apply output and full
   /// ILU-Krylov solution) at every thread count.
   bool backend_parity = true;
+  /// Every throughput point bitwise equal to k independent scalar applies
+  /// (AND of the per-point flags, for quick regression grepping).
+  bool batched_parity = true;
+  /// Krylov/AMG races skipped (matrix at or above the trim threshold).
+  bool trimmed = false;
+  /// Process peak RSS after this matrix finished, from getrusage ru_maxrss.
+  /// A process high-water mark: monotone over the run, so the first matrix
+  /// that spikes it owns the spike.
+  double peak_rss_mb = 0;
   std::vector<ThreadTimings> timings;
+  std::vector<ThroughputRow> throughput;
 };
+
+double peak_rss_mb_now() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
 
 std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
@@ -177,6 +242,7 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
   const CsrMatrix& a = e.matrix;
   rep.n = a.rows();
   rep.nnz = a.nnz();
+  rep.trimmed = a.rows() >= kTrimRows;
 
   // First-thread-count fused solutions; every later thread count and every
   // unfused run must reproduce them bitwise.
@@ -239,13 +305,78 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     tt.spmv_s =
         min_time_seconds([&] { spmv(a, part, r, y); }, cfg.reps, 1);
 
+    // Batched many-RHS serving throughput: solve_many over k concurrent
+    // right-hand sides under the SERVING configuration (retarget on — a
+    // planned team that oversubscribes the machine re-plans to the core
+    // count instead of spinning, exactly what a deployed server does). Each
+    // point is bitwise-checked against k independent scalar applies of the
+    // SAME factor; k / batch_s is the solves/sec the batch sustained.
+    {
+      const bool saved_retarget = f.opts.retarget_oversubscribed;
+      f.opts.retarget_oversubscribed = true;
+      ThroughputRow row;
+      row.threads = t;
+      SolveWorkspace wt;
+      std::vector<value_t> z1(r.size());
+      ilu_apply(f, r, z1, wt);  // warm the retarget caches
+      row.solve_1_s =
+          min_time_seconds([&] { ilu_apply(f, r, z1, wt); }, cfg.reps, 1);
+
+      index_t k_max = 1;
+      for (index_t k : cfg.streams) k_max = std::max(k_max, k);
+      const std::size_t un = static_cast<std::size_t>(a.rows());
+      std::vector<value_t> rp(un * static_cast<std::size_t>(k_max));
+      for (index_t j = 0; j < k_max; ++j) {
+        const auto col =
+            random_vector(a.rows(), 0xD00D + static_cast<std::uint64_t>(j));
+        std::copy(col.begin(), col.end(),
+                  rp.begin() + static_cast<std::size_t>(j) * un);
+      }
+      // Scalar reference, prefix-closed: the first k columns of the k_max
+      // reference ARE the k-RHS reference (columns are independent).
+      std::vector<value_t> z_ref(rp.size());
+      for (index_t j = 0; j < k_max; ++j) {
+        ilu_apply(f,
+                  std::span<const value_t>(rp).subspan(
+                      static_cast<std::size_t>(j) * un, un),
+                  std::span<value_t>(z_ref).subspan(
+                      static_cast<std::size_t>(j) * un, un),
+                  wt);
+      }
+      std::vector<value_t> zp(rp.size());
+      for (index_t k : cfg.streams) {
+        if (k < 1 || k > k_max) continue;
+        const std::size_t nk = un * static_cast<std::size_t>(k);
+        StreamPoint pt;
+        pt.k = k;
+        pt.batch_s = min_time_seconds(
+            [&] {
+              solve_many(f, std::span<const value_t>(rp).first(nk),
+                         std::span<value_t>(zp).first(nk), k, wt);
+            },
+            cfg.reps, 1);
+        pt.solves_per_s =
+            pt.batch_s > 0 ? static_cast<double>(k) / pt.batch_s : 0;
+        pt.batched_parity =
+            std::equal(zp.begin(), zp.begin() + static_cast<std::ptrdiff_t>(nk),
+                       z_ref.begin());
+        if (!pt.batched_parity) rep.batched_parity = false;
+        row.points.push_back(pt);
+      }
+      rep.throughput.push_back(std::move(row));
+      f.opts.retarget_oversubscribed = saved_retarget;
+    }
+
     // Fused vs unfused Krylov inner loop: the SAME restructured drivers, the
     // only difference being one scheduled pass (ilu_apply_spmv) vs two
     // kernel launches (ilu_apply then spmv) per iteration. tolerance 0 runs
     // the full iteration budget so the quotient is a per-iteration wall
     // time, and the solutions double as the bitwise parity check — fused vs
-    // unfused, and against the first thread count.
-    {
+    // unfused, and against the first thread count. Trimmed (production-
+    // scale) matrices skip the Krylov/AMG races below — they would run for
+    // hours at this scale — but keep everything above plus the throughput
+    // sweep.
+    if (!rep.trimmed) {
       SolverOptions fo;
       fo.max_iterations = 30;
       fo.tolerance = 0;
@@ -297,7 +428,7 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     SolverOptions sopts;
     sopts.max_iterations = 400;
     sopts.tolerance = 1e-8;
-    if (e.paper_sym_pattern) {
+    if (!rep.trimmed && e.paper_sym_pattern) {
       // Symmetric-pattern entries: full AMG-PCG vs ILU-PCG wall-time race at
       // every thread count (iteration counts are deterministic, so they are
       // recorded once), with the ILU-PCG run under BOTH backends — same
@@ -350,7 +481,7 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
       } catch (const Error& err) {
         if (ti == 0) std::printf("  amg skipped: %s\n", err.what());
       }
-    } else if (ti == 0) {
+    } else if (!rep.trimmed && ti == 0) {
       // Unsymmetric entries: GMRES iteration counts + bitwise backend parity
       // recorded once (the per-sweep timing race above already runs at every
       // thread count).
@@ -388,18 +519,37 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
       std::printf("  pcg ilu/amg %.4f/%.4fs (it %d/%d)", tt.ilu_pcg_s,
                   tt.amg_pcg_s, rep.pcg_iterations, rep.amg_iterations);
     }
+    if (!rep.throughput.empty() && !rep.throughput.back().points.empty()) {
+      const ThroughputRow& row = rep.throughput.back();
+      std::printf("  serve 1-RHS %.2f/s",
+                  row.solve_1_s > 0 ? 1.0 / row.solve_1_s : 0.0);
+      for (const StreamPoint& pt : row.points) {
+        std::printf("  k=%d %.2f/s%s", static_cast<int>(pt.k),
+                    pt.solves_per_s, pt.batched_parity ? "" : " PARITY-FAIL");
+      }
+    }
     std::printf("\n");
   }
+  rep.peak_rss_mb = peak_rss_mb_now();
   return rep;
 }
 
 void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
   std::ofstream os(cfg.out);
-  os << "{\n  \"suite_scale\": " << cfg.scale
+  // schema_version 2: + tier / streams headers, per-matrix throughput table
+  // (solves/sec of solve_many at k concurrent RHS per thread count, with
+  // per-point batched_parity), peak_rss_mb, trimmed flag. See README
+  // "Benchmark JSON schema".
+  os << "{\n  \"schema_version\": 2,\n  \"tier\": \"" << cfg.tier
+     << "\",\n  \"suite_scale\": " << cfg.scale
      << ",\n  \"fill_level\": " << cfg.fill << ",\n  \"reps\": " << cfg.reps
      << ",\n  \"threads\": [";
   for (std::size_t i = 0; i < cfg.threads.size(); ++i) {
     os << (i ? ", " : "") << cfg.threads[i];
+  }
+  os << "],\n  \"streams\": [";
+  for (std::size_t i = 0; i < cfg.streams.size(); ++i) {
+    os << (i ? ", " : "") << cfg.streams[i];
   }
   os << "],\n  \"results\": [\n";
   for (std::size_t i = 0; i < reps.size(); ++i) {
@@ -414,6 +564,9 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
        << ", \"amg_operator_complexity\": " << r.amg_operator_complexity
        << ", \"fused_parity\": " << (r.fused_parity ? "true" : "false")
        << ", \"backend_parity\": " << (r.backend_parity ? "true" : "false")
+       << ", \"batched_parity\": " << (r.batched_parity ? "true" : "false")
+       << ", \"trimmed\": " << (r.trimmed ? "true" : "false")
+       << ", \"peak_rss_mb\": " << r.peak_rss_mb
        << ",\n     \"amg_aggregate_hist\": [";
     for (std::size_t j = 0; j < r.amg_aggregate_hist.size(); ++j) {
       os << (j ? ", " : "") << r.amg_aggregate_hist[j];
@@ -449,6 +602,21 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
       sched("sched_bwd", t.bwd);
       os << "}" << (j + 1 < r.timings.size() ? "," : "") << "\n";
     }
+    os << "     ],\n     \"throughput\": [\n";
+    for (std::size_t j = 0; j < r.throughput.size(); ++j) {
+      const ThroughputRow& row = r.throughput[j];
+      os << "       {\"threads\": " << row.threads
+         << ", \"solve_1_s\": " << row.solve_1_s << ", \"streams\": [";
+      for (std::size_t p = 0; p < row.points.size(); ++p) {
+        const StreamPoint& pt = row.points[p];
+        os << (p ? ", " : "") << "{\"k\": " << pt.k
+           << ", \"batch_s\": " << pt.batch_s
+           << ", \"solves_per_s\": " << pt.solves_per_s
+           << ", \"batched_parity\": " << (pt.batched_parity ? "true" : "false")
+           << "}";
+      }
+      os << "]}" << (j + 1 < r.throughput.size() ? "," : "") << "\n";
+    }
     os << "     ]}" << (i + 1 < reps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -478,6 +646,21 @@ gen::SuiteEntry make_bench_entry(const std::string& name,
     gen::SuiteEntry e;
     e.name = name;
     e.matrix = gen::laplacian2d(s, s, 5);
+    e.paper_sym_pattern = true;
+    return e;
+  }
+  if (const index_t s = grid_side("aniso3d_")) {
+    gen::SuiteEntry e;
+    e.name = name;
+    e.matrix = gen::anisotropic3d(s, s, s, 0.1, 0.01);
+    e.paper_sym_pattern = true;
+    return e;
+  }
+  if (const index_t s = grid_side("jump3d_")) {
+    gen::SuiteEntry e;
+    e.name = name;
+    // 8³-cell coefficient blocks, 4 decades of contrast: SPE-style jumps.
+    e.matrix = gen::jump3d(s, s, s, 8, 1e4, 0x1A3);
     e.paper_sym_pattern = true;
     return e;
   }
@@ -512,10 +695,18 @@ int main(int argc, char** argv) {
     // The acceptance-grade AMG matrix: big enough that ILU-PCG iteration
     // counts hurt and the O(n) hierarchy pulls ahead.
     names.push_back("laplacian3d_40");
+    if (cfg.tier == "large") {
+      // Production-scale tier: 128³ ≈ 2.1M-row 3-D problems (isotropic,
+      // anisotropic, jumpy-coefficient). Krylov/AMG races are trimmed at
+      // this size; the latency table and the batched throughput sweep run.
+      names.push_back("laplacian3d_128");
+      names.push_back("aniso3d_128");
+      names.push_back("jump3d_128");
+    }
   }
 
-  std::printf("javelin bench: scale=%.3g fill=%d reps=%d\n", cfg.scale,
-              cfg.fill, cfg.reps);
+  std::printf("javelin bench: tier=%s scale=%.3g fill=%d reps=%d\n",
+              cfg.tier.c_str(), cfg.scale, cfg.fill, cfg.reps);
   std::vector<MatrixReport> reports;
   for (const std::string& name : names) {
     try {

@@ -28,6 +28,22 @@ CsrMatrix laplacian3d(index_t nx, index_t ny, index_t nz, int stencil = 7);
 /// the level structure like parabolic_fem-class problems.
 CsrMatrix anisotropic2d(index_t nx, index_t ny, double eps);
 
+/// Anisotropic 3-D diffusion: 7-point with directional coefficients
+/// (1, eps_y, eps_z). Strong coupling along x only (the production-scale
+/// analog of anisotropic2d); SPD with Neumann-style boundary fold-in.
+CsrMatrix anisotropic3d(index_t nx, index_t ny, index_t nz, double eps_y,
+                        double eps_z);
+
+/// Jumpy-coefficient 3-D diffusion: 7-point finite-volume discretization of
+/// -div(c grad u) where c is piecewise-constant on cubes of `block`³ grid
+/// cells, log-uniform in [1, contrast] (deterministic: the coefficient of a
+/// block is a SplitMix64 hash of its coordinates and `seed`). Face
+/// transmissibilities are harmonic means, so the matrix is SPD with entry
+/// magnitudes spanning the full contrast ratio — the hard-preconditioning
+/// analog of SPE-style reservoir problems.
+CsrMatrix jump3d(index_t nx, index_t ny, index_t nz, index_t block,
+                 double contrast, std::uint64_t seed);
+
 /// Unstructured FEM-like symmetric matrix: n rows, ~row_degree random
 /// symmetric off-diagonals with short-range locality; SPD by diagonal
 /// dominance. Models tetrahedral meshes (3D_28984_Tetra class).

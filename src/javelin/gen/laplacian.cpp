@@ -2,6 +2,7 @@
 
 #include "javelin/gen/generators.hpp"
 #include "javelin/sparse/coo.hpp"
+#include "javelin/support/rng.hpp"
 
 namespace javelin::gen {
 
@@ -103,6 +104,106 @@ CsrMatrix anisotropic2d(index_t nx, index_t ny, double eps) {
       add(i, j - 1, static_cast<value_t>(eps));
       add(i, j + 1, static_cast<value_t>(eps));
       coo.push(r, r, diag);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix anisotropic3d(index_t nx, index_t ny, index_t nz, double eps_y,
+                        double eps_z) {
+  const index_t n = nx * ny * nz;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 7);
+  const auto id = [nx, ny](index_t i, index_t j, index_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const index_t r = id(i, j, k);
+        value_t diag = 0;
+        const auto add = [&](index_t ii, index_t jj, index_t kk, value_t w) {
+          if (ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz) {
+            diag += w;  // fold the boundary flux into the diagonal (SPD)
+            return;
+          }
+          coo.push(r, id(ii, jj, kk), -w);
+          diag += w;
+        };
+        add(i - 1, j, k, 1.0);
+        add(i + 1, j, k, 1.0);
+        add(i, j - 1, k, static_cast<value_t>(eps_y));
+        add(i, j + 1, k, static_cast<value_t>(eps_y));
+        add(i, j, k - 1, static_cast<value_t>(eps_z));
+        add(i, j, k + 1, static_cast<value_t>(eps_z));
+        coo.push(r, r, diag);
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+namespace {
+
+/// Coefficient of the block containing cell (i, j, k): log-uniform in
+/// [1, contrast], keyed on the block coordinates so any cell of a block —
+/// and any traversal order — sees the same value.
+value_t jump_coefficient(index_t i, index_t j, index_t k, index_t block,
+                         double contrast, std::uint64_t seed) {
+  const std::uint64_t bi = static_cast<std::uint64_t>(i / block);
+  const std::uint64_t bj = static_cast<std::uint64_t>(j / block);
+  const std::uint64_t bk = static_cast<std::uint64_t>(k / block);
+  SplitMix64 mix(seed ^ (bi * 0x8DA6B343ull) ^ (bj * 0xD8163841ull) ^
+                 (bk * 0xCB1AB31Full));
+  const double u =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return static_cast<value_t>(std::exp(u * std::log(contrast)));
+}
+
+}  // namespace
+
+CsrMatrix jump3d(index_t nx, index_t ny, index_t nz, index_t block,
+                 double contrast, std::uint64_t seed) {
+  JAVELIN_CHECK(block >= 1, "jump3d requires block >= 1");
+  JAVELIN_CHECK(contrast >= 1.0, "jump3d requires contrast >= 1");
+  const index_t n = nx * ny * nz;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 7);
+  const auto id = [nx, ny](index_t i, index_t j, index_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  const auto c = [&](index_t i, index_t j, index_t k) {
+    return jump_coefficient(i, j, k, block, contrast, seed);
+  };
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const index_t r = id(i, j, k);
+        const value_t cc = c(i, j, k);
+        value_t diag = 0;
+        const auto add = [&](index_t ii, index_t jj, index_t kk) {
+          if (ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz) {
+            // Dirichlet-free boundary: no flux, nothing added.
+            return;
+          }
+          const value_t cn = c(ii, jj, kk);
+          // Harmonic mean of the two cell coefficients: the standard
+          // finite-volume face transmissibility, which keeps the matrix
+          // symmetric (the face value is the same from both sides).
+          const value_t w = 2.0 * cc * cn / (cc + cn);
+          coo.push(r, id(ii, jj, kk), -w);
+          diag += w;
+        };
+        add(i - 1, j, k);
+        add(i + 1, j, k);
+        add(i, j - 1, k);
+        add(i, j + 1, k);
+        add(i, j, k - 1);
+        add(i, j, k + 1);
+        coo.push(r, r, diag + 1e-3);  // shift off the Neumann null space
+      }
     }
   }
   return coo_to_csr(coo);

@@ -71,4 +71,76 @@ void forward_sweep(const Factorization& f, RhsFn rhs, std::span<value_t> x,
   }
 }
 
+/// Panel (multi-RHS) forward sweep: the column-major n×k panel at `x`
+/// (column stride `ld`) is solved in place, L x_j = rhs(r, j) for every
+/// column j. Same schedule, same tail policy and same per-row accumulation
+/// order as the scalar sweep above — column j is bitwise equal to a scalar
+/// forward_sweep of that column — but every L entry is loaded once per
+/// register block of kPanelBlockCols columns instead of once per column.
+template <class RhsFn>
+void forward_sweep_panel(const Factorization& f, RhsFn rhs, value_t* x,
+                         std::size_t ld, index_t k, SolveWorkspace& ws) {
+  const CsrMatrix& lu = f.lu;
+  const index_t n = f.n();
+  const index_t n_upper = f.plan.n_upper;
+  const index_t n_lower = n - n_upper;
+
+  const auto forward_row = [&](index_t r, index_t col_hi) {
+    for_each_panel_block(k, [&](index_t j0, auto kb) {
+      constexpr int KB = decltype(kb)::value;
+      value_t acc[KB] = {};
+      value_t* xb = x + static_cast<std::size_t>(j0) * ld;
+      lower_partial_panel<KB>(lu, r, col_hi, xb, ld, acc);
+      for (int j = 0; j < KB; ++j) {
+        xb[static_cast<std::size_t>(r) + static_cast<std::size_t>(j) * ld] =
+            rhs(r, j0 + j) - acc[j];
+      }
+    });
+  };
+
+  const ExecSchedule& fwd = runtime_fwd(f, ws.sched);
+  exec_run(
+      fwd, [&](index_t r, int) { forward_row(r, n); }, ws.progress);
+
+  if (n_lower == 0) return;
+  if (fwd.threads <= 1 || n_lower < 64) {
+    for (index_t r = n_upper; r < n; ++r) forward_row(r, n);
+    return;
+  }
+  // ER-style tail, panel-wide: parallel upper-column partial sums into an
+  // n_lower×k scratch panel, then the ordered corner resolve.
+  const std::size_t acc_ld = static_cast<std::size_t>(n_lower);
+  if (ws.lower_acc.size() < acc_ld * static_cast<std::size_t>(k)) {
+    ws.lower_acc.resize(acc_ld * static_cast<std::size_t>(k));
+  }
+  value_t* acc_panel = ws.lower_acc.data();
+#pragma omp parallel for schedule(static)
+  for (index_t r = n_upper; r < n; ++r) {
+    for_each_panel_block(k, [&](index_t j0, auto kb) {
+      constexpr int KB = decltype(kb)::value;
+      value_t acc[KB] = {};
+      lower_partial_panel<KB>(lu, r, n_upper,
+                              x + static_cast<std::size_t>(j0) * ld, ld, acc);
+      value_t* ar = acc_panel + static_cast<std::size_t>(r - n_upper) +
+                    static_cast<std::size_t>(j0) * acc_ld;
+      for (int j = 0; j < KB; ++j) ar[static_cast<std::size_t>(j) * acc_ld] = acc[j];
+    });
+  }
+  for (index_t r = n_upper; r < n; ++r) {
+    for_each_panel_block(k, [&](index_t j0, auto kb) {
+      constexpr int KB = decltype(kb)::value;
+      value_t acc[KB];
+      const value_t* ar = acc_panel + static_cast<std::size_t>(r - n_upper) +
+                          static_cast<std::size_t>(j0) * acc_ld;
+      for (int j = 0; j < KB; ++j) acc[j] = ar[static_cast<std::size_t>(j) * acc_ld];
+      value_t* xb = x + static_cast<std::size_t>(j0) * ld;
+      corner_partial_panel<KB>(lu, r, n_upper, xb, ld, acc);
+      for (int j = 0; j < KB; ++j) {
+        xb[static_cast<std::size_t>(r) + static_cast<std::size_t>(j) * ld] =
+            rhs(r, j0 + j) - acc[j];
+      }
+    });
+  }
+}
+
 }  // namespace javelin::detail

@@ -129,38 +129,24 @@ void serial_backward_spmv(const Factorization& f, const CsrMatrix& a,
 
 }  // namespace
 
-void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
-                    const FusedApplySpmv& fs, std::span<const value_t> r,
-                    std::span<value_t> z, std::span<value_t> t,
-                    SolveWorkspace& ws) {
-  const index_t n = f.n();
-  JAVELIN_CHECK(fs.n == n && fs.threads == f.bwd.threads,
+FusedRuntime runtime_fused_schedule(const Factorization& f, const CsrMatrix& a,
+                                    const FusedApplySpmv& fs,
+                                    SolveWorkspace& ws) {
+  JAVELIN_CHECK(fs.n == f.n() && fs.threads == f.bwd.threads,
                 "fused schedule does not match this factorization");
-  ws.resize(n, f.plan.num_lower_rows());
-  const auto& perm = f.plan.perm;
-  const CsrMatrix& lu = f.lu;
-  std::span<value_t> x(ws.x);
-
   // Runtime team selection: re-plan the backward schedule AND the SpMV
   // chunk structure when the team differs from the factor-time plan
   // (replaces the old oversubscription→serial policy — a mismatched team
   // retargets; only T = 1 runs the straight-line sweep, as its own plan).
-  const ExecSchedule* s = &f.bwd;
-  const FusedApplySpmv* chunks = &fs;
+  FusedRuntime rt;
+  rt.bwd = &f.bwd;
+  rt.chunks = &fs;
   const int team = runtime_team(f);
   if (team <= 1 || f.bwd.threads <= 1) {
-    // Single-thread team: gather+forward, backward+scatter and the SpMV as
-    // straight-line sweeps with zero synchronization — no point building
-    // schedules this path never reads. Same accumulation orders —
-    // bitwise-identical to the scheduled path.
-    for (index_t row = 0; row < n; ++row) {
-      x[static_cast<std::size_t>(row)] =
-          r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] -
-          lower_partial(lu, row, n, x, 0);
-    }
-    serial_backward_spmv(f, a, x, z, t);
-    return;
+    rt.team = 1;
+    return rt;
   }
+  rt.team = team;
   if (team != f.bwd.threads) {
     (void)runtime_bwd(f, ws.sched);  // fills ws.sched for `team`
     // The chunk wait lists depend on A's column structure, so the cache is
@@ -177,8 +163,38 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
       ws.sched.fused_cols = a.col_idx().data();
       ws.sched.fused_nnz = a.nnz();
     }
-    s = &ws.sched.bwd;
-    chunks = ws.sched.fused.get();
+    rt.bwd = &ws.sched.bwd;
+    rt.chunks = ws.sched.fused.get();
+  }
+  return rt;
+}
+
+void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
+                    const FusedApplySpmv& fs, std::span<const value_t> r,
+                    std::span<value_t> z, std::span<value_t> t,
+                    SolveWorkspace& ws) {
+  const index_t n = f.n();
+  ws.resize(n, f.plan.num_lower_rows());
+  const auto& perm = f.plan.perm;
+  const CsrMatrix& lu = f.lu;
+  std::span<value_t> x(ws.x);
+
+  const FusedRuntime rt = runtime_fused_schedule(f, a, fs, ws);
+  const ExecSchedule* s = rt.bwd;
+  const FusedApplySpmv* chunks = rt.chunks;
+  const int team = rt.team;
+  if (team <= 1) {
+    // Single-thread team: gather+forward, backward+scatter and the SpMV as
+    // straight-line sweeps with zero synchronization — no point building
+    // schedules this path never reads. Same accumulation orders —
+    // bitwise-identical to the scheduled path.
+    for (index_t row = 0; row < n; ++row) {
+      x[static_cast<std::size_t>(row)] =
+          r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] -
+          lower_partial(lu, row, n, x, 0);
+    }
+    serial_backward_spmv(f, a, x, z, t);
+    return;
   }
 
   fused_forward(f, r, x, ws);

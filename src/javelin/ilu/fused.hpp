@@ -87,6 +87,24 @@ FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
                                       const CsrMatrix& a,
                                       index_t chunk_rows = kDefaultSpmvChunkRows);
 
+/// The (team, backward schedule, fused-SpMV chunk structure) triple a fused
+/// pass should run right now: the factor's own when the runtime team matches
+/// the factor-time plan, otherwise retargeted through ws.sched (the cached
+/// fused companion is rebuilt when the team, the matrix identity or the
+/// chunk size changed). team <= 1 means "run the straight-line serial
+/// sweep" — bwd/chunks are still valid but the serial path never consults
+/// them. Shared by the scalar (ilu_apply_spmv) and panel
+/// (ilu_apply_spmv_panel) fused passes so their retarget policy cannot
+/// drift.
+struct FusedRuntime {
+  int team = 1;
+  const ExecSchedule* bwd = nullptr;
+  const FusedApplySpmv* chunks = nullptr;
+};
+FusedRuntime runtime_fused_schedule(const Factorization& f, const CsrMatrix& a,
+                                    const FusedApplySpmv& fs,
+                                    SolveWorkspace& ws);
+
 /// z = (LU)^{-1} r and t = A z in one fused pass. r, z and t are in the
 /// ORIGINAL row ordering and must not alias each other. Bitwise-identical to
 /// `ilu_apply(f, r, z, ws)` followed by `spmv(a, part, z, t)` at any thread

@@ -62,6 +62,15 @@ struct IluOptions {
   /// Thread count to plan for; <= 0 means use the OpenMP default.
   int num_threads = 0;
 
+  // --- batched serving -----------------------------------------------------
+  /// Panel width of the batched many-RHS path (ilu/batch.hpp): solve_many
+  /// splits its k right-hand sides into column-major panels of at most this
+  /// many columns and sweeps each panel in one scheduled pass (every factor
+  /// entry loaded once per register block instead of once per RHS). <= 0
+  /// means the built-in default (kDefaultBatchRhs). Width never changes
+  /// results: batched solves are bitwise equal to k independent solves.
+  index_t batch_rhs = 0;
+
   // --- execution backend ---------------------------------------------------
   /// Synchronization strategy of the factorization/solve schedules:
   /// point-to-point sparsified spin-waits (the paper's contribution) or the

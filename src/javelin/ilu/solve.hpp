@@ -36,7 +36,7 @@ namespace javelin {
 /// immutable factor with private workspaces. Move-only: the counters are
 /// atomics.
 struct SolveWorkspace {
-  std::vector<value_t> x;          ///< permuted vector being solved in place
+  std::vector<value_t> x;          ///< permuted vector/panel being solved in place
   std::vector<value_t> lower_acc;  ///< partial sums of the lower-stage rows
   ProgressCounters progress;       ///< spin-wait counters reused every sweep
   ScheduleCache sched;             ///< runtime-retargeted schedules (lazy)
@@ -44,6 +44,19 @@ struct SolveWorkspace {
   void resize(index_t n, index_t n_lower) {
     x.resize(static_cast<std::size_t>(n));
     lower_acc.resize(static_cast<std::size_t>(n_lower));
+  }
+
+  /// Panel (multi-RHS) sizing: x holds a column-major n×k panel, lower_acc
+  /// an n_lower×k panel of lower-stage partial sums. Grows only (a workspace
+  /// cycling between panel widths keeps the high-water allocation).
+  void resize_panel(index_t n, index_t n_lower, index_t k) {
+    const std::size_t uk = static_cast<std::size_t>(k);
+    if (x.size() < static_cast<std::size_t>(n) * uk) {
+      x.resize(static_cast<std::size_t>(n) * uk);
+    }
+    if (lower_acc.size() < static_cast<std::size_t>(n_lower) * uk) {
+      lower_acc.resize(static_cast<std::size_t>(n_lower) * uk);
+    }
   }
 };
 

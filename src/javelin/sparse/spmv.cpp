@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "javelin/sparse/panel.hpp"
 #include "javelin/support/parallel.hpp"
 #include "javelin/support/spinwait.hpp"
 
@@ -115,6 +116,27 @@ void spmv(const CsrMatrix& a, const RowPartition& part,
       acc += vv[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
     }
     y[static_cast<std::size_t>(r)] = acc;
+  });
+}
+
+void spmv_panel(const CsrMatrix& a, const RowPartition& part,
+                std::span<const value_t> x, std::span<value_t> y, index_t k) {
+  JAVELIN_CHECK(k >= 1, "spmv_panel requires k >= 1 right-hand sides");
+  const std::size_t ldx = static_cast<std::size_t>(a.cols());
+  const std::size_t ldy = static_cast<std::size_t>(a.rows());
+  JAVELIN_CHECK(x.size() >= ldx * static_cast<std::size_t>(k),
+                "spmv_panel: X panel smaller than cols() x k");
+  JAVELIN_CHECK(y.size() >= ldy * static_cast<std::size_t>(k),
+                "spmv_panel: Y panel smaller than rows() x k");
+  const value_t* xp = x.data();
+  value_t* yp = y.data();
+  for_rows_partitioned(a, part, [&](index_t r) {
+    detail::for_each_panel_block(k, [&](index_t j0, auto kb) {
+      constexpr int KB = decltype(kb)::value;
+      detail::spmv_row_panel<KB>(a, r, xp + static_cast<std::size_t>(j0) * ldx,
+                                 ldx, yp + static_cast<std::size_t>(j0) * ldy,
+                                 ldy);
+    });
   });
 }
 

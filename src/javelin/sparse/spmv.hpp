@@ -44,6 +44,16 @@ void spmv(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y);
 void spmv(const CsrMatrix& a, const RowPartition& part,
           std::span<const value_t> x, std::span<value_t> y);
 
+/// Multi-vector (panel) SpMV: Y = A X for k dense vectors stored
+/// column-major (X is cols()×k with column stride cols(), Y is rows()×k with
+/// column stride rows()). A's entries are loaded once per register block of
+/// columns (sparse/panel.hpp), so the bandwidth-bound multiply amortizes the
+/// matrix traffic across the panel. Column j of Y is bitwise equal to
+/// spmv(a, part, column j of X). Throws when k < 1 or the spans don't cover
+/// the panel.
+void spmv_panel(const CsrMatrix& a, const RowPartition& part,
+                std::span<const value_t> x, std::span<value_t> y, index_t k);
+
 /// y = alpha * A x + beta * y, OpenMP parallel over rows (nnz-balanced).
 void spmv_axpby(const CsrMatrix& a, value_t alpha, std::span<const value_t> x,
                 value_t beta, std::span<value_t> y);

@@ -44,6 +44,7 @@
 #include "javelin/ilu/batch.hpp"
 #include "javelin/ilu/solve.hpp"
 #include "javelin/solver/krylov.hpp"
+#include "javelin/solver/robust.hpp"
 #include "javelin/sparse/io.hpp"
 #include "javelin/sparse/ops.hpp"
 #include "javelin/sparse/spmv.hpp"
@@ -218,6 +219,19 @@ struct MatrixReport {
   /// A process high-water mark: monotone over the run, so the first matrix
   /// that spikes it owns the spike.
   double peak_rss_mb = 0;
+  // Breakdown/retry statistics of one solve_robust run against a consistent
+  // rhs: how many ladder rungs ran, the winning shift and preconditioner
+  // level, and the failure cause when nothing converged. -1 attempts = not
+  // run (trimmed matrices).
+  int robust_attempts = -1;
+  double robust_shift = 0;
+  std::string robust_level = "ilu";
+  std::string robust_cause = "none";
+  bool robust_converged = false;
+  /// Degenerate (group D) fixture: only the robust pipeline ran — the
+  /// timing sweep requires a factorable matrix, and the parity gate skips
+  /// these rows.
+  bool robust_only = false;
   std::vector<ThreadTimings> timings;
   std::vector<ThroughputRow> throughput;
 };
@@ -234,6 +248,42 @@ std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
   std::vector<value_t> v(static_cast<std::size_t>(n));
   for (auto& x : v) x = dist(rng);
   return v;
+}
+
+/// One solve_robust run against a consistent rhs (b = A·x_true): records the
+/// breakdown/retry trail into the report. Healthy matrices cost one Krylov
+/// solve (attempts == 1, shift == 0); degenerate ones walk the ladder.
+void run_robust(MatrixReport& rep, const CsrMatrix& a) {
+  const auto xt = random_vector(a.rows(), 0x5EED);
+  std::vector<value_t> b(xt.size());
+  spmv(a, xt, b);
+  std::vector<value_t> x(xt.size(), 0.0);
+  RobustOptions ropts;
+  ropts.solver.max_iterations = 2000;
+  const SolveReport sr = solve_robust(a, b, x, ropts);
+  rep.robust_attempts = static_cast<int>(sr.attempts.size());
+  rep.robust_shift = sr.shift_used;
+  rep.robust_level = to_string(sr.level_used);
+  rep.robust_cause = to_string(sr.cause);
+  rep.robust_converged = sr.converged;
+}
+
+/// Degenerate fixtures run ONLY the robust pipeline: the timing sweep
+/// factors with the throwing entry point, which these matrices defeat by
+/// construction.
+MatrixReport bench_degenerate(const gen::SuiteEntry& e) {
+  MatrixReport rep;
+  rep.name = e.name;
+  rep.n = e.matrix.rows();
+  rep.nnz = e.matrix.nnz();
+  rep.robust_only = true;
+  run_robust(rep, e.matrix);
+  rep.peak_rss_mb = peak_rss_mb_now();
+  std::printf("  %-18s robust: %s attempts=%d shift=%g level=%s cause=%s\n",
+              e.name.c_str(), rep.robust_converged ? "converged" : "FAILED",
+              rep.robust_attempts, rep.robust_shift, rep.robust_level.c_str(),
+              rep.robust_cause.c_str());
+  return rep;
 }
 
 MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
@@ -530,17 +580,24 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     }
     std::printf("\n");
   }
+  // Robust-pipeline statistics (skipped at production scale: one more full
+  // Krylov solve). On this healthy suite the expectation is a one-attempt,
+  // zero-shift trail — anything else is a regression worth seeing in the
+  // JSON diff.
+  if (!rep.trimmed) run_robust(rep, a);
   rep.peak_rss_mb = peak_rss_mb_now();
   return rep;
 }
 
 void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
   std::ofstream os(cfg.out);
-  // schema_version 2: + tier / streams headers, per-matrix throughput table
-  // (solves/sec of solve_many at k concurrent RHS per thread count, with
-  // per-point batched_parity), peak_rss_mb, trimmed flag. See README
-  // "Benchmark JSON schema".
-  os << "{\n  \"schema_version\": 2,\n  \"tier\": \"" << cfg.tier
+  // schema_version 3: + robust_attempts / shift_used / robust_level /
+  // robust_cause / robust_converged (breakdown-retry trail of one
+  // solve_robust run per matrix) and the robust_only flag marking the
+  // degenerate group-D fixtures. schema_version 2 added tier / streams
+  // headers, the per-matrix throughput table, peak_rss_mb and the trimmed
+  // flag. See README "Benchmark JSON schema".
+  os << "{\n  \"schema_version\": 3,\n  \"tier\": \"" << cfg.tier
      << "\",\n  \"suite_scale\": " << cfg.scale
      << ",\n  \"fill_level\": " << cfg.fill << ",\n  \"reps\": " << cfg.reps
      << ",\n  \"threads\": [";
@@ -567,6 +624,12 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
        << ", \"batched_parity\": " << (r.batched_parity ? "true" : "false")
        << ", \"trimmed\": " << (r.trimmed ? "true" : "false")
        << ", \"peak_rss_mb\": " << r.peak_rss_mb
+       << ",\n     \"robust_only\": " << (r.robust_only ? "true" : "false")
+       << ", \"robust_attempts\": " << r.robust_attempts
+       << ", \"shift_used\": " << r.robust_shift
+       << ", \"robust_level\": \"" << r.robust_level
+       << "\", \"robust_cause\": \"" << r.robust_cause
+       << "\", \"robust_converged\": " << (r.robust_converged ? "true" : "false")
        << ",\n     \"amg_aggregate_hist\": [";
     for (std::size_t j = 0; j < r.amg_aggregate_hist.size(); ++j) {
       os << (j ? ", " : "") << r.amg_aggregate_hist[j];
@@ -708,12 +771,19 @@ int main(int argc, char** argv) {
   std::printf("javelin bench: tier=%s scale=%.3g fill=%d reps=%d\n",
               cfg.tier.c_str(), cfg.scale, cfg.fill, cfg.reps);
   std::vector<MatrixReport> reports;
+  const std::vector<std::string> degenerate = gen::degenerate_names();
   for (const std::string& name : names) {
     try {
       gen::SuiteEntry e = make_bench_entry(name, sopts);
       std::printf("%s (n=%d, nnz=%d)\n", name.c_str(), e.matrix.rows(),
                   e.matrix.nnz());
-      reports.push_back(bench_matrix(e, cfg));
+      // Degenerate fixtures defeat the throwing factor path by construction;
+      // they bench the robust pipeline instead of the timing sweep.
+      const bool is_degenerate =
+          std::find(degenerate.begin(), degenerate.end(), name) !=
+          degenerate.end();
+      reports.push_back(is_degenerate ? bench_degenerate(e)
+                                      : bench_matrix(e, cfg));
     } catch (const Error& err) {
       std::printf("%s SKIPPED: %s\n", name.c_str(), err.what());
     }
@@ -728,7 +798,38 @@ int main(int argc, char** argv) {
       std::printf("%s SKIPPED: %s\n", path.c_str(), err.what());
     }
   }
+
+  // Degenerate group-D fixtures ride along as robust-only rows (only when
+  // the run uses the default matrix list — an explicit --matrices selection
+  // stays exactly what the caller asked for).
+  if (cfg.matrices.empty() && cfg.matrix_files.empty() &&
+      cfg.tier == "small") {
+    std::printf("degenerate fixtures (robust pipeline only)\n");
+    for (const std::string& name : gen::degenerate_names()) {
+      try {
+        reports.push_back(bench_degenerate(gen::make_suite_matrix(name, sopts)));
+      } catch (const Error& err) {
+        std::printf("%s SKIPPED: %s\n", name.c_str(), err.what());
+      }
+    }
+  }
+
   write_json(cfg, reports);
   std::printf("wrote %s\n", cfg.out.c_str());
-  return 0;
+
+  // Standing gate: the parity guarantees must stay green on every
+  // non-degenerate matrix — a bench run that produced a parity failure is a
+  // correctness regression, not a perf data point, and must fail loudly.
+  bool parity_ok = true;
+  for (const MatrixReport& r : reports) {
+    if (r.robust_only) continue;
+    if (!r.backend_parity || !r.batched_parity || !r.fused_parity) {
+      std::fprintf(stderr,
+                   "PARITY FAILURE on %s: backend=%d batched=%d fused=%d\n",
+                   r.name.c_str(), r.backend_parity ? 1 : 0,
+                   r.batched_parity ? 1 : 0, r.fused_parity ? 1 : 0);
+      parity_ok = false;
+    }
+  }
+  return parity_ok ? 0 : 1;
 }

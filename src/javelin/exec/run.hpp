@@ -21,8 +21,19 @@
 // last-resort correctness path. Consumers avoid this by retargeting the
 // schedule to the runtime team first (ilu/retarget.hpp) — the serial path
 // here is a safety net, not a policy.
+//
+// Cooperative abort: row_fn may return bool instead of void. A `false`
+// return marks the region aborted — the failing thread records the row in
+// an AbortFlag and stops publishing; every spin-wait (P2P counter waits and
+// the level barrier alike) polls the flag, so peers drain out of their wait
+// loops within a bounded number of misses instead of spinning on a row that
+// will never complete. No exception crosses the parallel region: exec_run
+// returns a structured ExecStatus and the caller decides whether to throw,
+// retry, or fall back. Void-returning row functions keep the historical
+// zero-overhead hot path (no flag polling at all).
 #pragma once
 
+#include <type_traits>
 #include <utility>
 
 #include "javelin/exec/schedule.hpp"
@@ -31,15 +42,66 @@
 
 namespace javelin {
 
-/// Dependency-safe serial sweep (level-major order).
+enum class ExecOutcome : std::uint8_t {
+  kOk,       ///< every scheduled row ran
+  kAborted,  ///< a row function vetoed; the region drained cooperatively
+};
+
+/// Structured result of an exec_run region. On abort, `row` is the first
+/// row recorded by the winning AbortFlag request — when a single row can
+/// fail (one bad pivot, one injected fault) this is deterministic, and it
+/// always lies in the earliest level that contains a failing row, because
+/// no thread passes a level whose barrier never completed (kBarrier) or
+/// consumes a publication that never happened (kP2P).
+struct ExecStatus {
+  ExecOutcome outcome = ExecOutcome::kOk;
+  index_t row = kInvalidIndex;
+
+  bool ok() const noexcept { return outcome == ExecOutcome::kOk; }
+};
+
+namespace detail {
+
+/// True when RowFn participates in cooperative abort by returning bool.
 template <class RowFn>
-void exec_run_serial(const ExecSchedule& s, RowFn&& row_fn) {
-  for (index_t r : s.serial_order) row_fn(r, 0);
+inline constexpr bool kGuardedRowFn =
+    std::is_same_v<std::invoke_result_t<RowFn&, index_t, int>, bool>;
+
+/// Invoke a row function, mapping void returns to "keep going".
+template <class RowFn>
+inline bool exec_row(RowFn& row_fn, index_t row, int t) {
+  if constexpr (kGuardedRowFn<RowFn>) {
+    return row_fn(row, t);
+  } else {
+    row_fn(row, t);
+    return true;
+  }
+}
+
+}  // namespace detail
+
+/// Dependency-safe serial sweep (level-major order). Honors cooperative
+/// abort for bool-returning row functions and an optional external flag
+/// (e.g. raised by a concurrent stage sharing the same poison domain).
+template <class RowFn>
+ExecStatus exec_run_serial(const ExecSchedule& s, RowFn&& row_fn,
+                           AbortFlag* abort = nullptr) {
+  for (index_t r : s.serial_order) {
+    if (abort != nullptr && abort->aborted()) {
+      return {ExecOutcome::kAborted, abort->row()};
+    }
+    if (!detail::exec_row(row_fn, r, 0)) {
+      if (abort != nullptr) abort->request(r);
+      return {ExecOutcome::kAborted, r};
+    }
+  }
+  return {};
 }
 
 /// Execute the schedule with caller-provided progress counters. `row_fn(row,
 /// thread)` is called once per row, in dependency order, from inside a
-/// parallel region; it must not throw.
+/// parallel region; it must not throw. Returning bool (false = poison this
+/// region) opts into cooperative abort; see the header comment.
 ///
 /// `progress` is grown (reallocating) only when it is smaller than the
 /// schedule's team and re-armed (zeroed) otherwise, so callers that sweep
@@ -47,13 +109,26 @@ void exec_run_serial(const ExecSchedule& s, RowFn&& row_fn) {
 /// smoother running stri at every level of every V-cycle — pay the
 /// threads×64B counter allocation once, not per sweep. (The barrier backend
 /// leaves `progress` untouched; it synchronizes through a stack barrier.)
+///
+/// `external_abort`, when provided, is both observed (rows stop being
+/// issued once it is raised, waits give up) and raised on row failure, so
+/// several cooperating stages can share one poison domain.
 template <class RowFn>
-void exec_run(const ExecSchedule& s, RowFn&& row_fn,
-              ProgressCounters& progress) {
-  if (s.threads <= 1) {
-    exec_run_serial(s, row_fn);
-    return;
+ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
+                    ProgressCounters& progress,
+                    AbortFlag* external_abort = nullptr) {
+  constexpr bool kGuarded = detail::kGuardedRowFn<std::remove_reference_t<RowFn>>;
+  AbortFlag local_abort;
+  AbortFlag* abort = external_abort;
+  if constexpr (kGuarded) {
+    if (abort == nullptr) abort = &local_abort;
   }
+  // `watch` folds to false for unguarded fns without an external flag, so
+  // the historical hot path compiles with zero abort polling.
+  const bool watch = abort != nullptr;
+
+  if (s.threads <= 1) return exec_run_serial(s, row_fn, abort);
+
   if (s.backend == ExecBackend::kP2P) {
     if (progress.num_threads() < s.threads) {
       progress.reset(s.threads);
@@ -74,13 +149,25 @@ void exec_run(const ExecSchedule& s, RowFn&& row_fn,
       const int t = thread_id();
       const int spin_budget = spin_budget_for(s.threads);
       for (index_t l = 0; l < s.num_levels; ++l) {
+        if (watch && abort->aborted()) break;
         const index_t base = s.level_ptr[static_cast<std::size_t>(l)];
         const index_t lsz = s.level_ptr[static_cast<std::size_t>(l) + 1] - base;
         const Range rr = partition_range(lsz, s.threads, t);
+        bool live = true;
         for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
-          row_fn(s.serial_order[static_cast<std::size_t>(k)], t);
+          const index_t row = s.serial_order[static_cast<std::size_t>(k)];
+          if (!detail::exec_row(row_fn, row, t)) {
+            if (abort != nullptr) abort->request(row);
+            live = false;
+            break;
+          }
         }
-        barrier.arrive_and_wait(spin_budget);
+        // A failed thread leaves without arriving, so the barrier can never
+        // complete for this level: peers notice through the abort-aware
+        // wait and drain. No thread ever advances past a poisoned level.
+        if (!live) break;
+        if (watch && abort->aborted()) break;
+        if (!barrier.arrive_and_wait(spin_budget, abort)) break;
       }
     } else {
       const int t = thread_id();
@@ -89,34 +176,53 @@ void exec_run(const ExecSchedule& s, RowFn&& row_fn,
       const index_t hi = s.thread_ptr[static_cast<std::size_t>(t) + 1];
       index_t done = 0;
       for (index_t i = lo; i < hi; ++i) {
+        if (watch && abort->aborted()) break;
         // One merged wait list, then the whole row block — the spin-wait
         // checks and the release store are amortized over chunk_rows rows.
+        bool live = true;
         for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
              w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
-          progress.wait_for(static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
-                            s.wait_count[static_cast<std::size_t>(w)], spin_budget);
+          if (!progress.wait_for(
+                  static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
+                  s.wait_count[static_cast<std::size_t>(w)], spin_budget,
+                  abort)) {
+            live = false;
+            break;
+          }
         }
+        if (!live) break;
         for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
              k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-          row_fn(s.rows[static_cast<std::size_t>(k)], t);
+          const index_t row = s.rows[static_cast<std::size_t>(k)];
+          if (!detail::exec_row(row_fn, row, t)) {
+            if (abort != nullptr) abort->request(row);
+            live = false;
+            break;
+          }
         }
+        // A failed item is never published, so consumers of any row in it
+        // (or after it) stall on the counter until they observe the flag.
+        if (!live) break;
         ++done;
         progress.publish(t, done);
       }
     }
   }
-  if (fallback) {
-    exec_run_serial(s, row_fn);
+  if (abort != nullptr && abort->aborted()) {
+    return {ExecOutcome::kAborted, abort->row()};
   }
+  if (fallback) return exec_run_serial(s, row_fn, abort);
+  return {};
 }
 
 /// Convenience overload with per-call counters (one-shot executions such as
 /// the factorization numeric phase; sweep loops should pass a persistent
 /// ProgressCounters instead).
 template <class RowFn>
-void exec_run(const ExecSchedule& s, RowFn&& row_fn) {
+ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
+                    AbortFlag* external_abort = nullptr) {
   ProgressCounters progress;
-  exec_run(s, std::forward<RowFn>(row_fn), progress);
+  return exec_run(s, std::forward<RowFn>(row_fn), progress, external_abort);
 }
 
 }  // namespace javelin

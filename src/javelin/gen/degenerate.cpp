@@ -1,0 +1,97 @@
+// Degenerate matrices for the breakdown-safe pipeline (solver/robust.hpp):
+// each one defeats plain ILU(0)+Krylov in a DIFFERENT way, and each failure
+// mode is constructed to be guaranteed, not probabilistic.
+//
+// - zero diagonal on a LEVEL-0 row: an interior zero diagonal is usually
+//   repaired by the elimination updates (the pivot accumulates -Σ l·u from
+//   its lower entries), so the structurally-zero diagonal sits on row 0 —
+//   no lower dependencies, the pivot stays exactly 0, the numeric phase
+//   breaks down deterministically and a Manteuffel shift α repairs it.
+// - saddle point with a redundant constraint: the [[A Bᵀ],[B 0]] block
+//   system is symmetric indefinite (PCG breaks down → GMRES retry), and the
+//   LAST constraint row is all-zero except an explicit 0.0 diagonal, so its
+//   pivot is exactly 0 no matter what the elimination does above it.
+// - near-singular Neumann Laplacian: SPD but with smallest eigenvalue ~eps;
+//   factorization succeeds, the solve is a conditioning/stagnation
+//   stressor for the residual guards rather than a breakdown.
+#include <algorithm>
+
+#include "javelin/gen/generators.hpp"
+#include "javelin/sparse/coo.hpp"
+
+namespace javelin::gen {
+
+CsrMatrix degenerate_zero_diag(index_t nx, index_t ny) {
+  CsrMatrix a = laplacian2d(nx, ny, 5);
+  const index_t p = a.find(0, 0);
+  JAVELIN_CHECK(p != kInvalidIndex, "laplacian2d lost its diagonal");
+  // Row 0 has no lower entries in any level order (it depends on nothing),
+  // so this exact 0 reaches finish_row unrepaired.
+  a.values_mut()[static_cast<std::size_t>(p)] = 0;
+  return a;
+}
+
+CsrMatrix degenerate_saddle(index_t nx, index_t ny, index_t m) {
+  const CsrMatrix a = laplacian2d(nx, ny, 5);
+  const index_t n = a.rows();
+  JAVELIN_CHECK(m >= 1, "degenerate_saddle requires at least one constraint");
+  // Keep constraint supports disjoint (stride >= 3 columns apart) so the
+  // COO assembly stays duplicate-free.
+  const index_t stride = std::max<index_t>(3, n / std::max<index_t>(m, 1));
+
+  CooMatrix coo;
+  coo.rows = coo.cols = n + m;
+  coo.reserve(static_cast<std::size_t>(a.nnz()) +
+              static_cast<std::size_t>(m) * 7);
+  for (index_t r = 0; r < n; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.push(r, cols[k], vals[k]);
+    }
+  }
+  // B (and Bᵀ, bitwise-symmetric): every constraint but the last couples
+  // three grid unknowns. The last one couples NOTHING — a redundant
+  // constraint whose row is identically zero off its explicit 0.0 diagonal.
+  for (index_t i = 0; i + 1 < m; ++i) {
+    for (index_t t = 0; t < 3; ++t) {
+      const index_t c = i * stride + t;
+      if (c >= n) break;
+      coo.push(n + i, c, 1.0);
+      coo.push(c, n + i, 1.0);
+    }
+  }
+  // Explicit structural 0.0 diagonals keep the C block inside the ILU(0)
+  // pattern (up-looking ILU requires a present diagonal); the VALUES are
+  // exactly zero, which is the breakdown.
+  for (index_t i = 0; i < m; ++i) coo.push(n + i, n + i, 0.0);
+  return coo_to_csr(coo);
+}
+
+CsrMatrix degenerate_near_singular(index_t nx, index_t ny, double eps) {
+  // Pure-Neumann 5-point Laplacian: diagonal = neighbor count, so the
+  // constant vector is an eps-eigenvector — SPD but condition ~1/eps.
+  const index_t n = nx * ny;
+  CooMatrix coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  const auto id = [nx](index_t i, index_t j) { return j * nx + i; };
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t r = id(i, j);
+      index_t degree = 0;
+      if (i > 0) ++degree;
+      if (i + 1 < nx) ++degree;
+      if (j > 0) ++degree;
+      if (j + 1 < ny) ++degree;
+      if (j > 0) coo.push(r, id(i, j - 1), -1.0);
+      if (i > 0) coo.push(r, id(i - 1, j), -1.0);
+      coo.push(r, r, static_cast<value_t>(degree) + static_cast<value_t>(eps));
+      if (i + 1 < nx) coo.push(r, id(i + 1, j), -1.0);
+      if (j + 1 < ny) coo.push(r, id(i, j + 1), -1.0);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+}  // namespace javelin::gen

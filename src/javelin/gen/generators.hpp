@@ -72,6 +72,27 @@ CsrMatrix long_chain(index_t n, index_t band, index_t coupling,
 /// convention.
 void make_diagonally_dominant(CsrMatrix& a, value_t margin = 1.0);
 
+// --- degenerate matrices (gen/degenerate.cpp) ------------------------------
+// Robustness fixtures for the breakdown-safe pipeline. NOT part of
+// suite_names(): the bench parity suite stays factorable.
+
+/// 2-D Laplacian whose ROW-0 diagonal is exactly 0 — a level-0 row has no
+/// lower dependencies, so ILU(0) breaks down deterministically there and a
+/// Manteuffel diagonal shift repairs it.
+CsrMatrix degenerate_zero_diag(index_t nx, index_t ny);
+
+/// Symmetric saddle point [[A Bᵀ],[B 0]] (A = 2-D Laplacian, m constraint
+/// rows with explicit 0.0 C-block diagonals). The last constraint is
+/// redundant (all-zero row), so its pivot is exactly 0; the system is
+/// indefinite (PCG → GMRES fallback) and singular-but-consistent for
+/// right-hand sides of the form K x.
+CsrMatrix degenerate_saddle(index_t nx, index_t ny, index_t m);
+
+/// Near-singular pure-Neumann 2-D Laplacian: diag = neighbor count + eps.
+/// SPD, factorable, condition ~1/eps — exercises the stagnation/non-finite
+/// Krylov guards instead of the factorization path.
+CsrMatrix degenerate_near_singular(index_t nx, index_t ny, double eps);
+
 /// A named matrix of the synthetic suite, plus the statistics the paper
 /// reports in Table I for its SuiteSparse counterpart.
 struct SuiteEntry {
@@ -105,5 +126,10 @@ SuiteEntry make_suite_matrix(const std::string& name,
 
 /// Names in suite order.
 std::vector<std::string> suite_names();
+
+/// Names of the degenerate robustness fixtures (group 'D'). Disjoint from
+/// suite_names() — the parity/bench suite never sees them; make_suite_matrix
+/// accepts both sets.
+std::vector<std::string> degenerate_names();
 
 }  // namespace javelin::gen

@@ -32,6 +32,10 @@ std::vector<std::string> suite_names() {
           "thermal2",      "G3_circuit"};
 }
 
+std::vector<std::string> degenerate_names() {
+  return {"zero_diag", "saddle_point", "near_singular"};
+}
+
 SuiteEntry make_suite_matrix(const std::string& name, const SuiteOptions& opts) {
   const double sc = opts.scale;
   const std::uint64_t seed = opts.seed;
@@ -142,6 +146,22 @@ SuiteEntry make_suite_matrix(const std::string& name, const SuiteOptions& opts) 
     const index_t s = grid_side_2d(n);
     e.matrix = laplacian2d(s, s, 5);
     e.paper_n = 1585478; e.paper_rd = 4.83; e.paper_sym_pattern = true; e.paper_levels = 13;
+  } else if (name == "zero_diag") {
+    // Degenerate (group D): structurally-zero level-0 diagonal — guaranteed
+    // ILU(0) numeric breakdown, shift-recoverable. Robustness fixture; the
+    // paper_* stats have no SuiteSparse counterpart.
+    e.group = 'D';
+    e.matrix = degenerate_zero_diag(32, 32);
+  } else if (name == "saddle_point") {
+    // Degenerate (group D): symmetric indefinite KKT block system with a
+    // redundant constraint (exact zero pivot + PCG→GMRES escalation).
+    e.group = 'D';
+    e.matrix = degenerate_saddle(24, 24, 16);
+  } else if (name == "near_singular") {
+    // Degenerate (group D): eps-shifted Neumann Laplacian (condition ~1e10),
+    // a stagnation/conditioning stressor that factors fine.
+    e.group = 'D';
+    e.matrix = degenerate_near_singular(40, 40, 1e-10);
   } else {
     throw Error("unknown suite matrix: " + name);
   }

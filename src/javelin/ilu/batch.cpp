@@ -71,23 +71,44 @@ void ilu_apply_panel(const Factorization& f, std::span<const value_t> r,
   value_t* x = ws.x.data();
 
   gather_panel(f.plan.perm, r, x, n, k);
-  detail::forward_sweep_panel(
+  const ExecStatus fst = detail::forward_sweep_panel(
       f,
       [x, un](index_t row, index_t j) {
         return x[static_cast<std::size_t>(row) + static_cast<std::size_t>(j) * un];
       },
       x, un, k, ws);
+  if (!fst.ok()) {
+    throw AbortError("panel forward sweep aborted at permuted row " +
+                     std::to_string(fst.row) + " (fault injection)");
+  }
   const CsrMatrix& lu = f.lu;
-  exec_run(
-      runtime_bwd(f, ws.sched),
-      [&](index_t row, int) {
-        for_each_panel_block(k, [&](index_t j0, auto kb) {
-          constexpr int KB = decltype(kb)::value;
-          backward_row_panel<KB>(lu, f.diag_pos, row,
-                                 x + static_cast<std::size_t>(j0) * un, un);
-        });
-      },
-      ws.progress);
+  const FaultHook& hook = f.opts.fault_hook;
+  const auto backward_panel_row = [&](index_t row) {
+    for_each_panel_block(k, [&](index_t j0, auto kb) {
+      constexpr int KB = decltype(kb)::value;
+      backward_row_panel<KB>(lu, f.diag_pos, row,
+                             x + static_cast<std::size_t>(j0) * un, un);
+    });
+  };
+  if (hook) {
+    const ExecStatus bst = exec_run(
+        runtime_bwd(f, ws.sched),
+        [&](index_t row, int) -> bool {
+          backward_panel_row(row);
+          return hook(FaultSite::kBackwardRow, row);
+        },
+        ws.progress);
+    if (!bst.ok()) {
+      // Converted OUTSIDE the parallel region: the abort itself drained
+      // cooperatively; the throw is what exercises caller RAII (leases).
+      throw AbortError("panel backward sweep aborted at permuted row " +
+                       std::to_string(bst.row) + " (fault injection)");
+    }
+  } else {
+    exec_run(
+        runtime_bwd(f, ws.sched),
+        [&](index_t row, int) { backward_panel_row(row); }, ws.progress);
+  }
   scatter_panel(f.plan.perm, x, z, n, k);
 }
 
@@ -143,12 +164,14 @@ namespace {
 /// Straight-line panel backward sweep (scatter folded in) followed by the
 /// panel SpMV — the single-thread execution of the fused panel pass and the
 /// short-team fallback (mirrors serial_backward_spmv in fused.cpp).
-void serial_backward_spmv_panel(const Factorization& f, const CsrMatrix& a,
-                                value_t* x, std::span<value_t> z,
-                                std::span<value_t> t, index_t k) {
+ExecStatus serial_backward_spmv_panel(const Factorization& f,
+                                      const CsrMatrix& a, value_t* x,
+                                      std::span<value_t> z,
+                                      std::span<value_t> t, index_t k) {
   const std::size_t un = static_cast<std::size_t>(f.n());
   const auto& perm = f.plan.perm;
   const CsrMatrix& lu = f.lu;
+  const FaultHook& hook = f.opts.fault_hook;
   for (index_t row : f.bwd.serial_order) {
     const std::size_t pr = static_cast<std::size_t>(perm[static_cast<std::size_t>(row)]);
     for_each_panel_block(k, [&](index_t j0, auto kb) {
@@ -160,6 +183,9 @@ void serial_backward_spmv_panel(const Factorization& f, const CsrMatrix& a,
             xb[static_cast<std::size_t>(row) + static_cast<std::size_t>(j) * un];
       }
     });
+    if (hook && !hook(FaultSite::kBackwardRow, row)) {
+      return {ExecOutcome::kAborted, row};
+    }
   }
   for (index_t row = 0; row < a.rows(); ++row) {
     for_each_panel_block(k, [&](index_t j0, auto kb) {
@@ -168,6 +194,12 @@ void serial_backward_spmv_panel(const Factorization& f, const CsrMatrix& a,
                          un, t.data() + static_cast<std::size_t>(j0) * un, un);
     });
   }
+  return {};
+}
+
+[[noreturn]] void throw_fused_panel_abort(index_t row) {
+  throw AbortError("fused panel apply+spmv aborted at permuted row " +
+                   std::to_string(row) + " (fault injection)");
 }
 
 }  // namespace
@@ -188,6 +220,7 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
   const CsrMatrix& lu = f.lu;
 
   const FusedRuntime rt = runtime_fused_schedule(f, a, fs, ws);
+  const FaultHook& hook = f.opts.fault_hook;
   if (rt.team <= 1) {
     // Single-thread team: gather+forward, backward+scatter and the SpMV as
     // straight-line panel sweeps with zero synchronization (the panel analog
@@ -206,23 +239,33 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
               acc[j];
         }
       });
+      if (hook && !hook(FaultSite::kForwardRow, row)) {
+        throw_fused_panel_abort(row);
+      }
     }
-    serial_backward_spmv_panel(f, a, x, z, t, k);
+    const ExecStatus bst = serial_backward_spmv_panel(f, a, x, z, t, k);
+    if (!bst.ok()) throw_fused_panel_abort(bst.row);
     return;
   }
 
   // Forward sweep with the panel gather folded into each row.
-  detail::forward_sweep_panel(
+  const ExecStatus fst = detail::forward_sweep_panel(
       f,
       [&r, &perm, un](index_t row, index_t j) {
         return r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)]) +
                  static_cast<std::size_t>(j) * un];
       },
       x, un, k, ws);
+  if (!fst.ok()) throw_fused_panel_abort(fst.row);
 
   const ExecSchedule* s = rt.bwd;
   const FusedApplySpmv* chunks = rt.chunks;
-  const auto backward_scatter_row = [&](index_t row) {
+  // Shared poison domain of the backward items and the SpMV chunk waits
+  // (see the scalar region in fused.cpp); null without a hook, so
+  // production sweeps keep the no-polling waits.
+  AbortFlag abort_flag;
+  AbortFlag* const ab = hook ? &abort_flag : nullptr;
+  const auto backward_scatter_row = [&](index_t row) -> bool {
     const std::size_t pr =
         static_cast<std::size_t>(perm[static_cast<std::size_t>(row)]);
     for_each_panel_block(k, [&](index_t j0, auto kb) {
@@ -234,6 +277,11 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
             xb[static_cast<std::size_t>(row) + static_cast<std::size_t>(j) * un];
       }
     });
+    if (hook && !hook(FaultSite::kBackwardRow, row)) {
+      ab->request(row);
+      return false;
+    }
+    return true;
   };
   const auto spmv_panel_row = [&](index_t row) {
     for_each_panel_block(k, [&](index_t j0, auto kb) {
@@ -264,50 +312,92 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
       } else {
         const int tid = thread_id();
         const int spin_budget = spin_budget_for(s->threads);
+        bool live = true;
         if (s->backend == ExecBackend::kBarrier) {
-          for (index_t l = 0; l < s->num_levels; ++l) {
+          for (index_t l = 0; l < s->num_levels && live; ++l) {
+            if (ab != nullptr && ab->aborted()) {
+              live = false;
+              break;
+            }
             const index_t base = s->level_ptr[static_cast<std::size_t>(l)];
             const index_t lsz =
                 s->level_ptr[static_cast<std::size_t>(l) + 1] - base;
             const Range rr = partition_range(lsz, s->threads, tid);
             for (index_t pos = base + rr.begin; pos < base + rr.end; ++pos) {
-              backward_scatter_row(s->serial_order[static_cast<std::size_t>(pos)]);
+              if (!backward_scatter_row(
+                      s->serial_order[static_cast<std::size_t>(pos)])) {
+                live = false;
+                break;
+              }
             }
-            level_barrier.arrive_and_wait(spin_budget);
+            // A failed thread never arrives, so no peer passes this level:
+            // they drain out of the abort-aware barrier wait instead.
+            if (!live) break;
+            if (!level_barrier.arrive_and_wait(spin_budget, ab)) live = false;
           }
-          for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
-               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
-            for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
-                 row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
-              spmv_panel_row(row);
+          if (live && !(ab != nullptr && ab->aborted())) {
+            for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+                 c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1];
+                 ++c) {
+              for (index_t row =
+                       chunks->chunk_begin[static_cast<std::size_t>(c)];
+                   row < chunks->chunk_end[static_cast<std::size_t>(c)];
+                   ++row) {
+                spmv_panel_row(row);
+              }
             }
           }
         } else {
           index_t done = 0;
           for (index_t i = s->thread_ptr[static_cast<std::size_t>(tid)];
-               i < s->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
+               i < s->thread_ptr[static_cast<std::size_t>(tid) + 1] && live;
+               ++i) {
+            if (ab != nullptr && ab->aborted()) {
+              live = false;
+              break;
+            }
             for (index_t w = s->wait_ptr[static_cast<std::size_t>(i)];
                  w < s->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
-              progress.wait_for(
-                  static_cast<int>(s->wait_thread[static_cast<std::size_t>(w)]),
-                  s->wait_count[static_cast<std::size_t>(w)], spin_budget);
+              if (!progress.wait_for(
+                      static_cast<int>(
+                          s->wait_thread[static_cast<std::size_t>(w)]),
+                      s->wait_count[static_cast<std::size_t>(w)], spin_budget,
+                      ab)) {
+                live = false;
+                break;
+              }
             }
+            if (!live) break;
             for (index_t pos = s->item_ptr[static_cast<std::size_t>(i)];
                  pos < s->item_ptr[static_cast<std::size_t>(i) + 1]; ++pos) {
-              backward_scatter_row(s->rows[static_cast<std::size_t>(pos)]);
+              if (!backward_scatter_row(
+                      s->rows[static_cast<std::size_t>(pos)])) {
+                live = false;
+                break;
+              }
             }
+            // A failed item is never published: chunk waits on it observe
+            // the flag and drain instead of spinning forever.
+            if (!live) break;
             ++done;
             progress.publish(tid, done);
           }
           for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
-               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
+               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1] &&
+               live;
+               ++c) {
             for (index_t w = chunks->wait_ptr[static_cast<std::size_t>(c)];
                  w < chunks->wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
-              progress.wait_for(
-                  static_cast<int>(
-                      chunks->wait_thread[static_cast<std::size_t>(w)]),
-                  chunks->wait_count[static_cast<std::size_t>(w)], spin_budget);
+              if (!progress.wait_for(
+                      static_cast<int>(
+                          chunks->wait_thread[static_cast<std::size_t>(w)]),
+                      chunks->wait_count[static_cast<std::size_t>(w)],
+                      spin_budget, ab)) {
+                live = false;
+                break;
+              }
             }
+            if (!live) break;
             for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
                  row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
               spmv_panel_row(row);
@@ -317,8 +407,10 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
       }
     }
   }
+  if (ab != nullptr && ab->aborted()) throw_fused_panel_abort(ab->row());
   if (fallback) {
-    serial_backward_spmv_panel(f, a, x, z, t, k);
+    const ExecStatus bst = serial_backward_spmv_panel(f, a, x, z, t, k);
+    if (!bst.ok()) throw_fused_panel_abort(bst.row);
   }
 }
 

@@ -119,21 +119,54 @@ struct Factorization {
   index_t n() const noexcept { return lu.rows(); }
 };
 
+/// Outcome of the numeric factorization phase. The numeric phase is the
+/// only part of the pipeline that can fail on VALUES (an unusable pivot);
+/// structural problems (missing diagonal, non-square input) still throw
+/// from the symbolic phase because no shift or retry can repair them.
+enum class FactorOutcome : std::uint8_t { kOk, kBadPivot };
+
+struct FactorStatus {
+  FactorOutcome outcome = FactorOutcome::kOk;
+  /// Permuted index of the first row whose pivot failed (zero/subthreshold/
+  /// non-finite magnitude, or a fault-injection veto); kInvalidIndex on kOk.
+  index_t row = kInvalidIndex;
+
+  bool ok() const noexcept { return outcome == FactorOutcome::kOk; }
+};
+
 /// Factor `a` with the full Javelin pipeline (level planning, permutation,
 /// two-stage parallel numeric factorization). `a` is expected to be
 /// preordered already (paper §IV: "we assume that the given matrix is
 /// already ordered"); the plan's internal level permutation is applied on
-/// top and recorded in plan.perm.
+/// top and recorded in plan.perm. Throws Error on a numeric breakdown; use
+/// ilu_prepare + ilu_factor_numeric_status for the non-throwing pipeline.
 Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts = {});
+
+/// Everything in ilu_factor EXCEPT the numeric phase: symbolic analysis,
+/// planning, permutation, scatter map and execution schedules. The returned
+/// factor holds A's (scattered) values, not L/U. Pairing this with
+/// ilu_factor_numeric_status gives a breakdown-safe factorization where the
+/// expensive analysis is paid once and each numeric attempt (e.g. the
+/// shift-ladder retries of RobustSolver) is an O(nnz) scatter + sweep.
+Factorization ilu_prepare(const CsrMatrix& a, const IluOptions& opts = {});
 
 /// Re-run the numeric phase with new values but the same pattern and plan
 /// (time-stepping use case). `a` must have the pattern of the original
-/// matrix.
+/// matrix. Throws Error on breakdown.
 void ilu_refactor(Factorization& f, const CsrMatrix& a);
 
 /// Numeric phase only, on an already-permuted symbolic factor. Exposed for
-/// tests/benches that want to time stages separately.
+/// tests/benches that want to time stages separately. Throws on breakdown.
 void ilu_factor_numeric(Factorization& f);
+
+/// Non-throwing numeric phase: a bad pivot aborts the parallel region
+/// cooperatively (exec/run.hpp) and is reported as a FactorStatus instead
+/// of an exception. On kBadPivot the factor's values are garbage; rescatter
+/// before the next attempt.
+FactorStatus ilu_factor_numeric_status(Factorization& f);
+
+/// Non-throwing refactorization: scatter + ilu_factor_numeric_status.
+FactorStatus ilu_refactor_status(Factorization& f, const CsrMatrix& a);
 
 /// Scatter values of (unpermuted) `a` onto the permuted factor pattern.
 /// Uses (and lazily builds) the persistent f.a_scatter map.

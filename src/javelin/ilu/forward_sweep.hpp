@@ -24,33 +24,53 @@ namespace javelin::detail {
 /// (ws.lower_acc is the scratch). Every row's accumulation is
 /// `rhs(r) - <fixed CSR-order partial sums>` — bitwise-identical across all
 /// rhs functors that return the same values.
+///
+/// Returns kAborted when the factor's fault-injection hook (tests only)
+/// vetoed a row: the scheduled part drains through the cooperative-abort
+/// protocol of exec_run, the tails stop at the vetoed row. With no hook
+/// installed the sweep runs the historical unguarded path and always
+/// returns kOk.
 template <class RhsFn>
-void forward_sweep(const Factorization& f, RhsFn rhs, std::span<value_t> x,
-                   SolveWorkspace& ws) {
+ExecStatus forward_sweep(const Factorization& f, RhsFn rhs,
+                         std::span<value_t> x, SolveWorkspace& ws) {
   const CsrMatrix& lu = f.lu;
   const index_t n = f.n();
   const index_t n_upper = f.plan.n_upper;
   const index_t n_lower = n - n_upper;
+  const FaultHook& hook = f.opts.fault_hook;
 
   // Upper-stage rows: same schedule, same synchronization as the
   // factorization, retargeted when the runtime team differs from the plan.
   // lower_partial reads only columns < r, whose completion the schedule's
   // waits (or level barriers) guarantee.
   const ExecSchedule& fwd = runtime_fwd(f, ws.sched);
-  exec_run(
-      fwd,
-      [&](index_t r, int) {
-        x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, r, x, 0);
-      },
-      ws.progress);
+  const auto forward_row = [&](index_t r) {
+    x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, r, x, 0);
+  };
+  if (hook) {
+    const ExecStatus st = exec_run(
+        fwd,
+        [&](index_t r, int) -> bool {
+          forward_row(r);
+          return hook(FaultSite::kForwardRow, r);
+        },
+        ws.progress);
+    if (!st.ok()) return st;
+  } else {
+    exec_run(
+        fwd, [&](index_t r, int) { forward_row(r); }, ws.progress);
+  }
 
-  if (n_lower == 0) return;
+  if (n_lower == 0) return {};
   if (fwd.threads <= 1 || n_lower < 64) {
     // Small tail: plain ordered sweep (corner coupling resolved in order).
     for (index_t r = n_upper; r < n; ++r) {
       x[static_cast<std::size_t>(r)] = rhs(r) - lower_partial(lu, r, n, x, 0);
+      if (hook && !hook(FaultSite::kForwardRow, r)) {
+        return {ExecOutcome::kAborted, r};
+      }
     }
-    return;
+    return {};
   }
   // ER-style tail: the upper-column products of the moved rows are mutually
   // independent once the upper stage finished — accumulate them in parallel,
@@ -68,7 +88,11 @@ void forward_sweep(const Factorization& f, RhsFn rhs, std::span<value_t> x,
     x[static_cast<std::size_t>(r)] =
         rhs(r) - corner_partial(lu, r, n_upper, x,
                                 acc[static_cast<std::size_t>(r - n_upper)]);
+    if (hook && !hook(FaultSite::kForwardRow, r)) {
+      return {ExecOutcome::kAborted, r};
+    }
   }
+  return {};
 }
 
 /// Panel (multi-RHS) forward sweep: the column-major n×k panel at `x`
@@ -78,12 +102,13 @@ void forward_sweep(const Factorization& f, RhsFn rhs, std::span<value_t> x,
 /// forward_sweep of that column — but every L entry is loaded once per
 /// register block of kPanelBlockCols columns instead of once per column.
 template <class RhsFn>
-void forward_sweep_panel(const Factorization& f, RhsFn rhs, value_t* x,
-                         std::size_t ld, index_t k, SolveWorkspace& ws) {
+ExecStatus forward_sweep_panel(const Factorization& f, RhsFn rhs, value_t* x,
+                               std::size_t ld, index_t k, SolveWorkspace& ws) {
   const CsrMatrix& lu = f.lu;
   const index_t n = f.n();
   const index_t n_upper = f.plan.n_upper;
   const index_t n_lower = n - n_upper;
+  const FaultHook& hook = f.opts.fault_hook;
 
   const auto forward_row = [&](index_t r, index_t col_hi) {
     for_each_panel_block(k, [&](index_t j0, auto kb) {
@@ -99,13 +124,29 @@ void forward_sweep_panel(const Factorization& f, RhsFn rhs, value_t* x,
   };
 
   const ExecSchedule& fwd = runtime_fwd(f, ws.sched);
-  exec_run(
-      fwd, [&](index_t r, int) { forward_row(r, n); }, ws.progress);
+  if (hook) {
+    const ExecStatus st = exec_run(
+        fwd,
+        [&](index_t r, int) -> bool {
+          forward_row(r, n);
+          return hook(FaultSite::kForwardRow, r);
+        },
+        ws.progress);
+    if (!st.ok()) return st;
+  } else {
+    exec_run(
+        fwd, [&](index_t r, int) { forward_row(r, n); }, ws.progress);
+  }
 
-  if (n_lower == 0) return;
+  if (n_lower == 0) return {};
   if (fwd.threads <= 1 || n_lower < 64) {
-    for (index_t r = n_upper; r < n; ++r) forward_row(r, n);
-    return;
+    for (index_t r = n_upper; r < n; ++r) {
+      forward_row(r, n);
+      if (hook && !hook(FaultSite::kForwardRow, r)) {
+        return {ExecOutcome::kAborted, r};
+      }
+    }
+    return {};
   }
   // ER-style tail, panel-wide: parallel upper-column partial sums into an
   // n_lower×k scratch panel, then the ordered corner resolve.
@@ -140,7 +181,11 @@ void forward_sweep_panel(const Factorization& f, RhsFn rhs, value_t* x,
             rhs(r, j0 + j) - acc[j];
       }
     });
+    if (hook && !hook(FaultSite::kForwardRow, r)) {
+      return {ExecOutcome::kAborted, r};
+    }
   }
+  return {};
 }
 
 }  // namespace javelin::detail

@@ -97,10 +97,10 @@ namespace {
 /// L x = P r, without the separate permute-in pass. The shared forward_sweep
 /// makes this bitwise-identical to trsv_forward on a pre-gathered x by
 /// construction.
-void fused_forward(const Factorization& f, std::span<const value_t> rv,
-                   std::span<value_t> x, SolveWorkspace& ws) {
+ExecStatus fused_forward(const Factorization& f, std::span<const value_t> rv,
+                         std::span<value_t> x, SolveWorkspace& ws) {
   const auto& perm = f.plan.perm;
-  detail::forward_sweep(
+  return detail::forward_sweep(
       f,
       [&rv, &perm](index_t r) {
         return rv[static_cast<std::size_t>(perm[static_cast<std::size_t>(r)])];
@@ -113,18 +113,28 @@ void fused_forward(const Factorization& f, std::span<const value_t> rv,
 /// retargeted to T = 1) and the last-resort path when a parallel region
 /// delivers a short team. One implementation so the zero-synchronization
 /// paths cannot drift apart.
-void serial_backward_spmv(const Factorization& f, const CsrMatrix& a,
-                          std::span<value_t> x, std::span<value_t> z,
-                          std::span<value_t> t) {
+ExecStatus serial_backward_spmv(const Factorization& f, const CsrMatrix& a,
+                                std::span<value_t> x, std::span<value_t> z,
+                                std::span<value_t> t) {
   const auto& perm = f.plan.perm;
+  const FaultHook& hook = f.opts.fault_hook;
   for (index_t row : f.bwd.serial_order) {
     backward_row(f.lu, f.diag_pos, row, x);
     z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
         x[static_cast<std::size_t>(row)];
+    if (hook && !hook(FaultSite::kBackwardRow, row)) {
+      return {ExecOutcome::kAborted, row};
+    }
   }
   for (index_t row = 0; row < a.rows(); ++row) {
     t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
   }
+  return {};
+}
+
+[[noreturn]] void throw_fused_abort(index_t row) {
+  throw AbortError("fused apply+spmv aborted at permuted row " +
+                   std::to_string(row) + " (fault injection)");
 }
 
 }  // namespace
@@ -183,6 +193,7 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
   const ExecSchedule* s = rt.bwd;
   const FusedApplySpmv* chunks = rt.chunks;
   const int team = rt.team;
+  const FaultHook& hook = f.opts.fault_hook;
   if (team <= 1) {
     // Single-thread team: gather+forward, backward+scatter and the SpMV as
     // straight-line sweeps with zero synchronization — no point building
@@ -192,13 +203,23 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
       x[static_cast<std::size_t>(row)] =
           r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] -
           lower_partial(lu, row, n, x, 0);
+      if (hook && !hook(FaultSite::kForwardRow, row)) throw_fused_abort(row);
     }
-    serial_backward_spmv(f, a, x, z, t);
+    const ExecStatus bst = serial_backward_spmv(f, a, x, z, t);
+    if (!bst.ok()) throw_fused_abort(bst.row);
     return;
   }
 
-  fused_forward(f, r, x, ws);
+  const ExecStatus fst = fused_forward(f, r, x, ws);
+  if (!fst.ok()) throw_fused_abort(fst.row);
 
+  // Cooperative abort (fault injection only): the flag is shared by the
+  // backward items and the SpMV chunk waits, so a poisoned backward row
+  // drains the whole fused region — including chunks waiting on rows that
+  // will never publish. Hook-free solves keep `ab` null and every wait on
+  // its historical no-polling path.
+  AbortFlag abort_flag;
+  AbortFlag* const ab = hook ? &abort_flag : nullptr;
   bool fallback = false;
   {
     ProgressCounters& progress = ws.progress;
@@ -216,8 +237,8 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
     // waits on the same counters (P2P) or by the final level barrier
     // (CSR-LS). The sweep halves mirror exec_run (exec/run.hpp) with the
     // scatter fused into the row loop and the SpMV epilogue interleaved on
-    // the same counters — keep the synchronization structure in sync with
-    // exec_run when changing either.
+    // the same counters — keep the synchronization structure (including the
+    // abort protocol) in sync with exec_run when changing either.
 #pragma omp parallel num_threads(s->threads)
     {
       // Uniform team-size verdict, no single+barrier round (see exec_run).
@@ -226,59 +247,103 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
       } else {
         const int tid = thread_id();
         const int spin_budget = spin_budget_for(s->threads);
+        const auto backward_scatter = [&](index_t row) -> bool {
+          backward_row(lu, f.diag_pos, row, x);
+          z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+              x[static_cast<std::size_t>(row)];
+          if (hook && !hook(FaultSite::kBackwardRow, row)) {
+            ab->request(row);
+            return false;
+          }
+          return true;
+        };
+        bool live = true;
         if (s->backend == ExecBackend::kBarrier) {
-          for (index_t l = 0; l < s->num_levels; ++l) {
+          for (index_t l = 0; l < s->num_levels && live; ++l) {
+            if (ab != nullptr && ab->aborted()) {
+              live = false;
+              break;
+            }
             const index_t base = s->level_ptr[static_cast<std::size_t>(l)];
             const index_t lsz =
                 s->level_ptr[static_cast<std::size_t>(l) + 1] - base;
             const Range rr = partition_range(lsz, s->threads, tid);
             for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
-              const index_t row =
-                  s->serial_order[static_cast<std::size_t>(k)];
-              backward_row(lu, f.diag_pos, row, x);
-              z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
-                  x[static_cast<std::size_t>(row)];
+              if (!backward_scatter(
+                      s->serial_order[static_cast<std::size_t>(k)])) {
+                live = false;
+                break;
+              }
             }
-            level_barrier.arrive_and_wait(spin_budget);
+            // A failed thread never arrives, so no peer passes this level:
+            // they drain out of the abort-aware barrier wait instead.
+            if (!live) break;
+            if (!level_barrier.arrive_and_wait(spin_budget, ab)) live = false;
           }
           // The last level barrier ordered every z entry before this point;
-          // the SpMV chunks run unguarded.
-          for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
-               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
-            for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
-                 row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
-              t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+          // the SpMV chunks run unguarded. An aborted sweep skips them.
+          if (live && !(ab != nullptr && ab->aborted())) {
+            for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+                 c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1];
+                 ++c) {
+              for (index_t row =
+                       chunks->chunk_begin[static_cast<std::size_t>(c)];
+                   row < chunks->chunk_end[static_cast<std::size_t>(c)];
+                   ++row) {
+                t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+              }
             }
           }
         } else {
           index_t done = 0;
           for (index_t i = s->thread_ptr[static_cast<std::size_t>(tid)];
-               i < s->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
+               i < s->thread_ptr[static_cast<std::size_t>(tid) + 1] && live;
+               ++i) {
+            if (ab != nullptr && ab->aborted()) {
+              live = false;
+              break;
+            }
             for (index_t w = s->wait_ptr[static_cast<std::size_t>(i)];
                  w < s->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
-              progress.wait_for(
-                  static_cast<int>(s->wait_thread[static_cast<std::size_t>(w)]),
-                  s->wait_count[static_cast<std::size_t>(w)], spin_budget);
+              if (!progress.wait_for(
+                      static_cast<int>(
+                          s->wait_thread[static_cast<std::size_t>(w)]),
+                      s->wait_count[static_cast<std::size_t>(w)], spin_budget,
+                      ab)) {
+                live = false;
+                break;
+              }
             }
+            if (!live) break;
             for (index_t k = s->item_ptr[static_cast<std::size_t>(i)];
                  k < s->item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-              const index_t row = s->rows[static_cast<std::size_t>(k)];
-              backward_row(lu, f.diag_pos, row, x);
-              z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
-                  x[static_cast<std::size_t>(row)];
+              if (!backward_scatter(s->rows[static_cast<std::size_t>(k)])) {
+                live = false;
+                break;
+              }
             }
+            // A failed item is never published: chunk waits on it observe
+            // the flag and drain instead of spinning forever.
+            if (!live) break;
             ++done;
             progress.publish(tid, done);
           }
           for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
-               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
+               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1] &&
+               live;
+               ++c) {
             for (index_t w = chunks->wait_ptr[static_cast<std::size_t>(c)];
                  w < chunks->wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
-              progress.wait_for(
-                  static_cast<int>(
-                      chunks->wait_thread[static_cast<std::size_t>(w)]),
-                  chunks->wait_count[static_cast<std::size_t>(w)], spin_budget);
+              if (!progress.wait_for(
+                      static_cast<int>(
+                          chunks->wait_thread[static_cast<std::size_t>(w)]),
+                      chunks->wait_count[static_cast<std::size_t>(w)],
+                      spin_budget, ab)) {
+                live = false;
+                break;
+              }
             }
+            if (!live) break;
             for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
                  row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
               t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
@@ -288,8 +353,10 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
       }
     }
   }
+  if (ab != nullptr && ab->aborted()) throw_fused_abort(ab->row());
   if (fallback) {
-    serial_backward_spmv(f, a, x, z, t);
+    const ExecStatus bst = serial_backward_spmv(f, a, x, z, t);
+    if (!bst.ok()) throw_fused_abort(bst.row);
   }
 }
 

@@ -3,11 +3,27 @@
 // and the planner sensitivity knobs of Tables III/IV).
 #pragma once
 
+#include <functional>
+
 #include "javelin/exec/backend.hpp"
 #include "javelin/graph/levels.hpp"
 #include "javelin/support/types.hpp"
 
 namespace javelin {
+
+/// Where a fault-injection hook fires (see IluOptions::fault_hook).
+enum class FaultSite {
+  kFactorRow,   ///< after a numeric-phase row factored (upper stage or corner)
+  kForwardRow,  ///< after a forward-sweep scheduled/tail row
+  kBackwardRow, ///< after a backward-sweep row (incl. fused/panel variants)
+};
+
+/// Test-only fault-injection hook: called with the site and the (permuted)
+/// row just processed; returning false poisons that row exactly as a bad
+/// pivot would, driving the cooperative-abort path of the exec backends.
+/// An empty hook (the default) keeps every hot path on its unguarded,
+/// zero-polling variant.
+using FaultHook = std::function<bool(FaultSite, index_t)>;
 
 /// Which method factors the rows excluded from level scheduling (paper
 /// §III-B). kAuto lets the planner choose from the matrix structure, as the
@@ -85,6 +101,13 @@ struct IluOptions {
   /// omp_set_num_threads below the plan always retargets, independent of
   /// this flag. Tests pin false to force planned-width scheduled execution.
   bool retarget_oversubscribed = true;
+
+  // --- fault injection (tests only) ---------------------------------------
+  /// When set, consulted after every factor/sweep row; returning false
+  /// aborts the enclosing region cooperatively (no throw from inside the
+  /// parallel region, bounded spin-wait termination). Leave empty in
+  /// production: the empty-hook paths carry no abort polling.
+  FaultHook fault_hook;
 };
 
 }  // namespace javelin

@@ -6,7 +6,6 @@
 // Every path calls the same row kernel, so all execution modes produce
 // bitwise-identical factors (asserted by the property tests).
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <string>
 
@@ -47,10 +46,13 @@ void throw_pivot(index_t row) {
 /// each other, restricted to corner columns [n_upper, row). Serial by
 /// default; optionally level-scheduled through the barrier (CSR-LS)
 /// execution backend — the corner is small by construction, so per-level
-/// barriers beat spin-wait sparsification there.
-void factor_corner(Factorization& f, WorkspacePool& pool) {
+/// barriers beat spin-wait sparsification there. A bad pivot (or a
+/// fault-hook veto) aborts the region cooperatively and is reported as a
+/// status; nothing throws from inside the parallel region.
+FactorStatus factor_corner(Factorization& f, WorkspacePool& pool) {
   const TwoStagePlan& plan = f.plan;
   const RowKernelParams params = kernel_params(f.opts);
+  const FaultHook& hook = f.opts.fault_hook;
   FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
   if (!f.opts.parallel_corner || plan.num_lower_rows() < 2 * plan.threads ||
       f.corner.num_levels == 0) {
@@ -58,26 +60,29 @@ void factor_corner(Factorization& f, WorkspacePool& pool) {
     for (index_t r = plan.n_upper; r < plan.n; ++r) {
       mark_row(fv, r, ws);
       eliminate_window(fv, r, plan.n_upper, r, ws, params);
-      if (!finish_row(fv, r, params)) throw_pivot(r);
+      if (!finish_row(fv, r, params) ||
+          (hook && !hook(FaultSite::kFactorRow, r))) {
+        return {FactorOutcome::kBadPivot, r};
+      }
     }
-    return;
+    return {};
   }
-  std::atomic<index_t> bad{kInvalidIndex};
-  exec_run(f.corner, [&](index_t local, int t) {
-    // Once a pivot failed, skip the remaining rows: the level barriers make
-    // the flag visible to every later level, so the reported row stays in
-    // the FIRST failing level instead of a downstream inf/NaN cascade row.
-    if (bad.load(std::memory_order_relaxed) != kInvalidIndex) return;
+  // Guarded (bool-returning) row function: exec_run drains the barrier
+  // level-set cooperatively on the first failing row, and because no thread
+  // passes a level whose barrier never completed, the reported row stays in
+  // the FIRST failing level instead of a downstream inf/NaN cascade row.
+  const ExecStatus st = exec_run(f.corner, [&](index_t local, int t) -> bool {
     const index_t r = plan.n_upper + local;
     RowWorkspace& ws = pool.get(t);
     mark_row(fv, r, ws);
     eliminate_window(fv, r, plan.n_upper, r, ws, params);
-    if (!finish_row(fv, r, params)) {
-      index_t expect = kInvalidIndex;
-      bad.compare_exchange_strong(expect, r);
-    }
+    if (!finish_row(fv, r, params)) return false;
+    return !hook || hook(FaultSite::kFactorRow, r);
   });
-  if (bad.load() != kInvalidIndex) throw_pivot(bad.load());
+  if (!st.ok()) {
+    return {FactorOutcome::kBadPivot, plan.n_upper + st.row};
+  }
+  return {};
 }
 
 /// Even-Rows phase one (paper Fig. 8 FACTOR_L): every lower row eliminates
@@ -301,10 +306,11 @@ void scatter_values(Factorization& f, const CsrMatrix& a) {
   }
 }
 
-void ilu_factor_numeric(Factorization& f) {
+FactorStatus ilu_factor_numeric_status(Factorization& f) {
   const TwoStagePlan& plan = f.plan;
   WorkspacePool pool(plan.threads, f.n());
   const RowKernelParams params = kernel_params(f.opts);
+  const FaultHook& hook = f.opts.fault_hook;
   FactorView fv{f.lu.row_ptr(), f.lu.col_idx(), f.lu.values_mut(), f.diag_pos};
 
   // Upper stage: level-scheduled up-looking rows under the factor's
@@ -325,34 +331,39 @@ void ilu_factor_numeric(Factorization& f) {
     }
     fwd = &f.numeric_cache.fwd;
   }
-  std::atomic<index_t> bad{kInvalidIndex};
-  exec_run(*fwd, [&](index_t r, int t) {
+  // Guarded row function: a failed pivot poisons the region, peers drain
+  // out of their spin-waits, and the first failing row comes back in the
+  // ExecStatus — no exception ever crosses the parallel region.
+  const ExecStatus st = exec_run(*fwd, [&](index_t r, int t) -> bool {
     RowWorkspace& ws = pool.get(t);
-    if (!factor_row(fv, r, ws, params)) {
-      index_t expect = kInvalidIndex;
-      bad.compare_exchange_strong(expect, r);
-    }
+    if (!factor_row(fv, r, ws, params)) return false;
+    return !hook || hook(FaultSite::kFactorRow, r);
   });
-  if (bad.load() != kInvalidIndex) throw_pivot(bad.load());
+  if (!st.ok()) return {FactorOutcome::kBadPivot, st.row};
 
-  // Lower stage.
+  // Lower stage. The ER/SR passes only divide by already-validated upper
+  // pivots, so they cannot break down; the corner can.
   switch (plan.method) {
     case LowerMethod::kNone:
-      break;
+      return {};
     case LowerMethod::kEvenRows:
       lower_even_rows(f, pool);
-      factor_corner(f, pool);
-      break;
+      return factor_corner(f, pool);
     case LowerMethod::kSegmentedRows:
       lower_segmented_rows(f, pool);
-      factor_corner(f, pool);
-      break;
+      return factor_corner(f, pool);
     case LowerMethod::kAuto:
       throw Error("plan method must be resolved before the numeric phase");
   }
+  return {};
 }
 
-Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
+void ilu_factor_numeric(Factorization& f) {
+  const FactorStatus st = ilu_factor_numeric_status(f);
+  if (!st.ok()) throw_pivot(st.row);
+}
+
+Factorization ilu_prepare(const CsrMatrix& a, const IluOptions& opts) {
   JAVELIN_CHECK(a.square(), "ILU requires a square matrix");
   Factorization f;
   f.opts = opts;
@@ -397,15 +408,25 @@ Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
                                    f.plan.threads, chunk);
   }
 
+  return f;
+}
+
+Factorization ilu_factor(const CsrMatrix& a, const IluOptions& opts) {
+  Factorization f = ilu_prepare(a, opts);
   ilu_factor_numeric(f);
   return f;
 }
 
 void ilu_refactor(Factorization& f, const CsrMatrix& a) {
+  const FactorStatus st = ilu_refactor_status(f, a);
+  if (!st.ok()) throw_pivot(st.row);
+}
+
+FactorStatus ilu_refactor_status(Factorization& f, const CsrMatrix& a) {
   JAVELIN_CHECK(a.rows() == f.n() && a.cols() == f.n(),
                 "refactor dimension mismatch");
   scatter_values(f, a);
-  ilu_factor_numeric(f);
+  return ilu_factor_numeric_status(f);
 }
 
 }  // namespace javelin

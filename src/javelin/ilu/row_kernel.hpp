@@ -173,7 +173,11 @@ inline bool finish_row(const FactorView& f, index_t r, const RowKernelParams& p)
       f.values[static_cast<std::size_t>(dp)] += milu_acc;
     }
   }
-  return std::abs(f.values[static_cast<std::size_t>(dp)]) > p.pivot_threshold;
+  // A NaN pivot already fails the magnitude test; ±inf (overflowed
+  // elimination) would pass it and then poison every dependent row, so the
+  // pivot must be finite as well as large enough.
+  const value_t piv = f.values[static_cast<std::size_t>(dp)];
+  return std::isfinite(piv) && std::abs(piv) > p.pivot_threshold;
 }
 
 /// Full single-row factorization: mark, eliminate everything left of the

@@ -23,21 +23,32 @@ void trsv_serial(const CsrMatrix& lu, std::span<const index_t> diag_pos,
   for (index_t r = n; r-- > 0;) backward_row(lu, diag_pos, r, x);
 }
 
-void trsv_forward(const Factorization& f, std::span<value_t> x,
-                  SolveWorkspace& ws) {
+ExecStatus trsv_forward(const Factorization& f, std::span<value_t> x,
+                        SolveWorkspace& ws) {
   // In-place: x[r] holds the permuted rhs on entry, read before the row's
   // slot is overwritten (x[r] = rhs - acc is the same subtraction as the
   // historical x[r] -= acc, bitwise).
-  detail::forward_sweep(
+  return detail::forward_sweep(
       f, [&x](index_t r) { return x[static_cast<std::size_t>(r)]; }, x, ws);
 }
 
-void trsv_backward(const Factorization& f, std::span<value_t> x,
-                   SolveWorkspace& ws) {
+ExecStatus trsv_backward(const Factorization& f, std::span<value_t> x,
+                         SolveWorkspace& ws) {
+  const FaultHook& hook = f.opts.fault_hook;
+  if (hook) {
+    return exec_run(
+        runtime_bwd(f, ws.sched),
+        [&](index_t r, int) -> bool {
+          backward_row(f.lu, f.diag_pos, r, x);
+          return hook(FaultSite::kBackwardRow, r);
+        },
+        ws.progress);
+  }
   exec_run(
       runtime_bwd(f, ws.sched),
       [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); },
       ws.progress);
+  return {};
 }
 
 void trsv_forward_serial(const Factorization& f, std::span<value_t> x) {
@@ -51,8 +62,8 @@ void trsv_backward_serial(const Factorization& f, std::span<value_t> x) {
   for (index_t r = f.n(); r-- > 0;) backward_row(f.lu, f.diag_pos, r, x);
 }
 
-void ilu_apply(const Factorization& f, std::span<const value_t> r,
-               std::span<value_t> z, SolveWorkspace& ws) {
+ExecStatus ilu_apply_status(const Factorization& f, std::span<const value_t> r,
+                            std::span<value_t> z, SolveWorkspace& ws) {
   const index_t n = f.n();
   ws.resize(n, f.plan.num_lower_rows());
   const auto& perm = f.plan.perm;
@@ -62,12 +73,24 @@ void ilu_apply(const Factorization& f, std::span<const value_t> r,
     x[static_cast<std::size_t>(i)] =
         r[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
   }
-  trsv_forward(f, x, ws);
-  trsv_backward(f, x, ws);
+  ExecStatus st = trsv_forward(f, x, ws);
+  if (!st.ok()) return st;
+  st = trsv_backward(f, x, ws);
+  if (!st.ok()) return st;
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < n; ++i) {
     z[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
         x[static_cast<std::size_t>(i)];
+  }
+  return {};
+}
+
+void ilu_apply(const Factorization& f, std::span<const value_t> r,
+               std::span<value_t> z, SolveWorkspace& ws) {
+  const ExecStatus st = ilu_apply_status(f, r, z, ws);
+  if (!st.ok()) {
+    throw AbortError("triangular sweep aborted at permuted row " +
+                     std::to_string(st.row) + " (fault injection)");
   }
 }
 

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "javelin/exec/run.hpp"
 #include "javelin/ilu/factorization.hpp"
 #include "javelin/support/spinwait.hpp"
 
@@ -68,14 +69,17 @@ void trsv_serial(const CsrMatrix& lu, std::span<const index_t> diag_pos,
 /// In-place P2P forward sweep on the permuted factor: on entry x is the
 /// permuted rhs, on exit L x' = x (unit diagonal implicit). Upper-stage rows
 /// run under f.fwd; lower-stage rows run as a parallel partial-sum pass plus
-/// an ordered corner sweep (ws.lower_acc is the scratch).
-void trsv_forward(const Factorization& f, std::span<value_t> x,
-                  SolveWorkspace& ws);
+/// an ordered corner sweep (ws.lower_acc is the scratch). Returns kAborted
+/// only when the factor's fault-injection hook vetoed a row (tests); the
+/// hook-free path is unguarded and always kOk.
+ExecStatus trsv_forward(const Factorization& f, std::span<value_t> x,
+                        SolveWorkspace& ws);
 
 /// In-place P2P backward sweep: x := U^{-1} x, diagonal divide fused. Shares
-/// ws.progress with the forward sweep (the sweeps never overlap).
-void trsv_backward(const Factorization& f, std::span<value_t> x,
-                   SolveWorkspace& ws);
+/// ws.progress with the forward sweep (the sweeps never overlap). Same
+/// abort semantics as trsv_forward.
+ExecStatus trsv_backward(const Factorization& f, std::span<value_t> x,
+                         SolveWorkspace& ws);
 
 /// Serial in-place variants (reference paths for tests and fallback).
 void trsv_forward_serial(const Factorization& f, std::span<value_t> x);
@@ -84,9 +88,16 @@ void trsv_backward_serial(const Factorization& f, std::span<value_t> x);
 /// Preconditioner application z = (L U)^{-1} r with r and z in the ORIGINAL
 /// row ordering (the plan permutation is applied on the way in and undone on
 /// the way out, so callers never see the level ordering). r and z must not
-/// alias. Thread-safe across distinct workspaces.
+/// alias. Thread-safe across distinct workspaces. Throws AbortError when a
+/// fault-injection hook aborted a sweep (converted OUTSIDE the parallel
+/// region; z is untouched); use ilu_apply_status for the non-throwing form.
 void ilu_apply(const Factorization& f, std::span<const value_t> r,
                std::span<value_t> z, SolveWorkspace& ws);
+
+/// Non-throwing ilu_apply: reports a hook-driven abort as a status instead
+/// of AbortError. On kAborted, z is not written.
+ExecStatus ilu_apply_status(const Factorization& f, std::span<const value_t> r,
+                            std::span<value_t> z, SolveWorkspace& ws);
 
 /// Convenience overload with a per-call workspace (allocates; prefer the
 /// workspace overload in iterative loops).

@@ -1,5 +1,6 @@
 #include "javelin/solver/batch.hpp"
 
+#include <cmath>
 #include <string>
 
 namespace javelin {
@@ -12,6 +13,7 @@ struct ColumnState {
   value_t bnorm = 0;
   value_t rz = 0;
   bool active = false;
+  detail::StagnationGuard stagnation;
 };
 
 /// True relative residual of column j, recomputed exactly the way scalar
@@ -78,9 +80,11 @@ std::vector<SolverResult> pcg_many(const CsrMatrix& a,
   for (index_t j = 0; j < k; ++j) {
     ColumnState& s = st[static_cast<std::size_t>(j)];
     s.bnorm = norm2(bcol(j));
+    s.stagnation.window = opts.stagnation_window;
     if (s.bnorm == 0) {
       fill(xcol(j), 0);
       res[static_cast<std::size_t>(j)].converged = true;
+      res[static_cast<std::size_t>(j)].stop = SolverStop::kConverged;
       continue;  // retired before the iteration starts, like scalar pcg
     }
     s.active = true;
@@ -98,6 +102,7 @@ std::vector<SolverResult> pcg_many(const CsrMatrix& a,
     rr.relative_residual = norm2(rj) / s.bnorm;
     if (rr.relative_residual <= opts.tolerance) {
       rr.converged = true;  // warm start already solves this column
+      rr.stop = SolverStop::kConverged;
       s.active = false;
     }
   }
@@ -110,6 +115,21 @@ std::vector<SolverResult> pcg_many(const CsrMatrix& a,
   };
   if (!any_active()) return res;
 
+  // Mirrors scalar pcg's `retire`: an abnormal column exit reports the TRUE
+  // residual of the x that column actually returns, and `converged` stays
+  // the single source of truth (a guard exit meeting the tolerance reports
+  // kConverged). Only this column retires — its panel neighbors keep
+  // iterating, so a breakdown degrades per-column, never per-panel.
+  const auto retire_col = [&](index_t j, SolverStop cause) {
+    ColumnState& s = st[static_cast<std::size_t>(j)];
+    SolverResult& rr = res[static_cast<std::size_t>(j)];
+    rr.relative_residual = true_relative_residual_col(a, part, bcol(j), xcol(j),
+                                                      scratch, s.bnorm);
+    rr.converged = rr.relative_residual <= opts.tolerance;
+    rr.stop = rr.converged ? SolverStop::kConverged : cause;
+    s.active = false;
+  };
+
   precond(r, z, k);
   for (index_t j = 0; j < k; ++j) {
     ColumnState& s = st[static_cast<std::size_t>(j)];
@@ -119,15 +139,15 @@ std::vector<SolverResult> pcg_many(const CsrMatrix& a,
   }
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    // rz breakdown check at the iteration head, exactly like scalar pcg.
+    // rz breakdown/non-finite check at the iteration head, exactly like
+    // scalar pcg.
     for (index_t j = 0; j < k; ++j) {
       ColumnState& s = st[static_cast<std::size_t>(j)];
-      if (!s.active || s.rz != 0) continue;
-      SolverResult& rr = res[static_cast<std::size_t>(j)];
-      rr.relative_residual = true_relative_residual_col(
-          a, part, bcol(j), xcol(j), scratch, s.bnorm);
-      rr.converged = rr.relative_residual <= opts.tolerance;
-      s.active = false;
+      if (!s.active) continue;
+      if (s.rz <= 0 || !std::isfinite(s.rz)) {
+        retire_col(j, std::isfinite(s.rz) ? SolverStop::kBreakdown
+                                          : SolverStop::kNonFinite);
+      }
     }
     if (!any_active()) return res;
 
@@ -138,11 +158,9 @@ std::vector<SolverResult> pcg_many(const CsrMatrix& a,
       if (!s.active) continue;
       SolverResult& rr = res[static_cast<std::size_t>(j)];
       const value_t pq = dot(col(p, j), col(q, j));
-      if (pq == 0) {
-        rr.relative_residual = true_relative_residual_col(
-            a, part, bcol(j), xcol(j), scratch, s.bnorm);
-        rr.converged = rr.relative_residual <= opts.tolerance;
-        s.active = false;
+      if (pq <= 0 || !std::isfinite(pq)) {
+        retire_col(j, std::isfinite(pq) ? SolverStop::kBreakdown
+                                        : SolverStop::kNonFinite);
         continue;
       }
       const value_t alpha = s.rz / pq;
@@ -150,9 +168,18 @@ std::vector<SolverResult> pcg_many(const CsrMatrix& a,
       axpy(-alpha, col(q, j), col(r, j));
       rr.iterations = it + 1;
       rr.relative_residual = norm2(col(r, j)) / s.bnorm;
+      if (!std::isfinite(rr.relative_residual)) {
+        retire_col(j, SolverStop::kNonFinite);
+        continue;
+      }
       if (rr.relative_residual <= opts.tolerance) {
         rr.converged = true;
+        rr.stop = SolverStop::kConverged;
         s.active = false;
+        continue;
+      }
+      if (s.stagnation.stagnated(rr.iterations, rr.relative_residual)) {
+        retire_col(j, SolverStop::kStagnation);
       }
     }
     if (!any_active()) return res;

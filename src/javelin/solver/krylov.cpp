@@ -32,6 +32,22 @@ std::shared_ptr<const RowPartition> operator_partition(
 
 }  // namespace
 
+const char* to_string(SolverStop stop) noexcept {
+  switch (stop) {
+    case SolverStop::kConverged:
+      return "converged";
+    case SolverStop::kMaxIterations:
+      return "max_iterations";
+    case SolverStop::kBreakdown:
+      return "breakdown";
+    case SolverStop::kNonFinite:
+      return "non_finite";
+    case SolverStop::kStagnation:
+      return "stagnation";
+  }
+  return "unknown";
+}
+
 PrecondFn identity_preconditioner() {
   return [](std::span<const value_t> r, std::span<value_t> z) { copy(r, z); };
 }
@@ -68,6 +84,7 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
   if (bnorm == 0) {
     fill(x.subspan(0, un), 0);
     res.converged = true;
+    res.stop = SolverStop::kConverged;
     return res;
   }
 
@@ -77,33 +94,47 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
   res.relative_residual = norm2(r) / bnorm;
   if (res.relative_residual <= opts.tolerance) {
     res.converged = true;  // warm start already solves the system
+    res.stop = SolverStop::kConverged;
     return res;
   }
+
+  // Every abnormal exit reports the TRUE residual of the x actually
+  // returned (the recurrence residual in `r` is stale/poisoned there), and
+  // `converged` stays the single source of truth: a guard exit whose true
+  // residual meets the tolerance reports kConverged.
+  const auto retire = [&](SolverStop cause) -> SolverResult& {
+    res.relative_residual =
+        true_relative_residual(a, part, b, x.subspan(0, un), r, bnorm);
+    res.converged = res.relative_residual <= opts.tolerance;
+    res.stop = res.converged ? SolverStop::kConverged : cause;
+    return res;
+  };
 
   precond(r, z);
   copy(std::span<const value_t>(z), std::span<value_t>(p));
   value_t rz = dot(r, z);
+  detail::StagnationGuard stagnation{opts.stagnation_window};
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    if (rz == 0) {
-      // Breakdown: z = M^{-1} r became orthogonal to r (indefinite A or M),
-      // so alpha would be 0 and the NEXT beta = rz_next / 0 would poison the
-      // iterate with NaN — exit with the honest residual instead.
-      res.relative_residual =
-          true_relative_residual(a, part, b, x.subspan(0, un), r, bnorm);
-      res.converged = res.relative_residual <= opts.tolerance;
-      return res;
+    if (rz <= 0 || !std::isfinite(rz)) {
+      // Breakdown: (r, M^{-1} r) <= 0 means the preconditioner is
+      // indefinite (or exactly orthogonal) — for an SPD M this inner
+      // product is strictly positive, so a non-positive value is proof the
+      // CG assumptions are broken and the next beta would poison the
+      // iterate. Exit with the honest residual instead. A non-finite rz
+      // means the recurrence already produced NaN/Inf; same drill,
+      // different cause.
+      return retire(std::isfinite(rz) ? SolverStop::kBreakdown
+                                      : SolverStop::kNonFinite);
     }
     spmv(a, part, p, q);
     const value_t pq = dot(p, q);
-    if (pq == 0) {
-      // Breakdown (non-SPD input): the recurrence residual in `r` is stale
-      // relative to the x actually returned — report the TRUE residual so
-      // callers see an honest relative_residual.
-      res.relative_residual =
-          true_relative_residual(a, part, b, x.subspan(0, un), r, bnorm);
-      res.converged = res.relative_residual <= opts.tolerance;
-      return res;
+    if (pq <= 0 || !std::isfinite(pq)) {
+      // Negative curvature ((p, Ap) <= 0): A is not SPD along this
+      // direction — a breakdown of the method, not of the rung, so the
+      // robust ladder can retry the same preconditioner with GMRES.
+      return retire(std::isfinite(pq) ? SolverStop::kBreakdown
+                                      : SolverStop::kNonFinite);
     }
     const value_t alpha = rz / pq;
     axpy(alpha, p, x.subspan(0, un));
@@ -111,9 +142,16 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
     res.iterations = it + 1;
     const value_t rnorm = norm2(r);
     res.relative_residual = rnorm / bnorm;
+    if (!std::isfinite(res.relative_residual)) {
+      return retire(SolverStop::kNonFinite);
+    }
     if (res.relative_residual <= opts.tolerance) {
       res.converged = true;
+      res.stop = SolverStop::kConverged;
       return res;
+    }
+    if (stagnation.stagnated(res.iterations, res.relative_residual)) {
+      return retire(SolverStop::kStagnation);
     }
     precond(r, z);
     const value_t rz_next = dot(r, z);
@@ -122,6 +160,7 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
     // p = z + beta p
     xpby(std::span<const value_t>(z), beta, std::span<value_t>(p));
   }
+  res.stop = SolverStop::kMaxIterations;
   return res;
 }
 
@@ -141,6 +180,7 @@ SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
   if (bnorm == 0) {
     fill(x.subspan(0, un), 0);
     res.converged = true;
+    res.stop = SolverStop::kConverged;
     return res;
   }
 
@@ -150,6 +190,7 @@ SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
   res.relative_residual = norm2(r) / bnorm;
   if (res.relative_residual <= opts.tolerance) {
     res.converged = true;  // warm start (true residual by construction)
+    res.stop = SolverStop::kConverged;
     return res;
   }
 
@@ -157,19 +198,23 @@ SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
   // then maintains the direction and its image by recurrence:
   //   beta = (r,z) / (r,z)_prev,  p = z + beta p,  q = t + beta q  (= A p).
   // The matvec of p never runs as a separate kernel — that is the §VI
-  // fusion. Exit residuals are recomputed exactly (recurrence drift).
+  // fusion. EVERY exit recomputes the true residual (recurrence drift, and
+  // guard exits return a stale/poisoned recurrence state), so `converged`
+  // stays the single source of truth and a guard exit that nonetheless
+  // meets the tolerance reports kConverged.
   value_t rz_prev = 0;
+  SolverStop cause = SolverStop::kMaxIterations;
+  detail::StagnationGuard stagnation{opts.stagnation_window};
   for (int it = 0; it < opts.max_iterations; ++it) {
     op.apply_spmv(r, z, t);
     const value_t rz = dot(r, z);
-    if (rz == 0) {
-      // Breakdown: z = M^{-1} r orthogonal to r (indefinite A or M). alpha
-      // would be 0 this iteration and beta = 0 / rz (or, next iteration,
-      // rz_next / 0 = NaN) — exit with the honest residual instead.
-      res.relative_residual =
-          true_relative_residual(a, part, b, x.subspan(0, un), t, bnorm);
-      res.converged = res.relative_residual <= opts.tolerance;
-      return res;
+    if (rz <= 0 || !std::isfinite(rz)) {
+      // Breakdown: (r, M^{-1} r) <= 0 — indefinite preconditioner (strictly
+      // positive for SPD M), so the CG assumptions are broken and the next
+      // beta would poison the iterate. Exit with the honest residual. A
+      // non-finite rz means the recurrence is already poisoned.
+      cause = std::isfinite(rz) ? SolverStop::kBreakdown : SolverStop::kNonFinite;
+      break;
     }
     if (it == 0) {
       copy(std::span<const value_t>(z), std::span<value_t>(p));
@@ -181,22 +226,38 @@ SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
     }
     rz_prev = rz;
     const value_t pq = dot(p, q);
-    if (pq == 0) {
-      res.relative_residual =
-          true_relative_residual(a, part, b, x.subspan(0, un), t, bnorm);
-      res.converged = res.relative_residual <= opts.tolerance;
-      return res;
+    if (pq <= 0 || !std::isfinite(pq)) {
+      // Negative curvature: A not SPD along p (see scalar pcg).
+      cause = std::isfinite(pq) ? SolverStop::kBreakdown : SolverStop::kNonFinite;
+      break;
     }
     const value_t alpha = rz / pq;
     axpy(alpha, p, x.subspan(0, un));
     axpy(-alpha, q, r);
     res.iterations = it + 1;
     res.relative_residual = norm2(r) / bnorm;
-    if (res.relative_residual <= opts.tolerance) break;
+    if (!std::isfinite(res.relative_residual)) {
+      cause = SolverStop::kNonFinite;
+      break;
+    }
+    if (res.relative_residual <= opts.tolerance) {
+      cause = SolverStop::kConverged;
+      break;
+    }
+    if (stagnation.stagnated(res.iterations, res.relative_residual)) {
+      cause = SolverStop::kStagnation;
+      break;
+    }
   }
   res.relative_residual =
       true_relative_residual(a, part, b, x.subspan(0, un), t, bnorm);
   res.converged = res.relative_residual <= opts.tolerance;
+  res.stop = res.converged ? SolverStop::kConverged : cause;
+  if (!res.converged && cause == SolverStop::kConverged) {
+    // The recurrence estimate met the tolerance but the true residual does
+    // not — drift, not convergence; report it as stagnation of the estimate.
+    res.stop = SolverStop::kStagnation;
+  }
   return res;
 }
 
@@ -221,8 +282,22 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
   if (bnorm == 0) {
     fill(x.subspan(0, un), 0);
     res.converged = true;
+    res.stop = SolverStop::kConverged;
     return res;
   }
+
+  // Abnormal exits (non-finite Arnoldi state, exhausted budget) report the
+  // TRUE residual of the CURRENT x — in particular a poisoned restart cycle
+  // bails without applying its correction, so x is the last finite iterate.
+  const auto finish_true_residual = [&](std::span<value_t> scratch,
+                                        SolverStop cause) -> SolverResult& {
+    spmv(a, part, x, scratch);
+    for (std::size_t i = 0; i < un; ++i) scratch[i] = b[i] - scratch[i];
+    res.relative_residual = norm2(scratch) / bnorm;
+    res.converged = res.relative_residual <= opts.tolerance;
+    res.stop = res.converged ? SolverStop::kConverged : cause;
+    return res;
+  };
 
   // Krylov basis and the Hessenberg least-squares state (Givens rotations).
   std::vector<std::vector<value_t>> v(static_cast<std::size_t>(m) + 1,
@@ -233,6 +308,7 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
   std::vector<value_t> sn(static_cast<std::size_t>(m), 0);
   std::vector<value_t> g(static_cast<std::size_t>(m) + 1, 0);
   std::vector<value_t> w(un), z(un), y(static_cast<std::size_t>(m));
+  detail::StagnationGuard stagnation{opts.stagnation_window};
 
   while (res.iterations < opts.max_iterations) {
     // r0 = b - A x (true residual: right preconditioning keeps it exact).
@@ -242,6 +318,18 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
     res.relative_residual = beta / bnorm;
     if (res.relative_residual <= opts.tolerance) {
       res.converged = true;
+      res.stop = SolverStop::kConverged;
+      return res;
+    }
+    if (!std::isfinite(res.relative_residual)) {
+      // x itself is poisoned — nothing finite left to report against.
+      res.stop = SolverStop::kNonFinite;
+      return res;
+    }
+    if (stagnation.stagnated(res.iterations, res.relative_residual)) {
+      // Restart-head residuals are TRUE residuals, so the plateau is real
+      // (not estimate drift) — give the budget back to the caller's ladder.
+      res.stop = SolverStop::kStagnation;
       return res;
     }
     for (std::size_t i = 0; i < un; ++i) v[0][i] = w[i] / beta;
@@ -261,6 +349,12 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
         axpy(-hij, v[static_cast<std::size_t>(i)], w);
       }
       const value_t hnext = norm2(w);
+      if (!std::isfinite(hnext)) {
+        // The Arnoldi vector went NaN/Inf (poisoned apply or overflow) —
+        // bail WITHOUT applying this cycle's correction: x is still the
+        // last finite iterate and its true residual is the honest report.
+        return finish_true_residual(w, SolverStop::kNonFinite);
+      }
       h[uj + 1][uj] = hnext;
       if (hnext != 0) {
         for (std::size_t i = 0; i < un; ++i) v[uj + 1][i] = w[i] / hnext;
@@ -286,6 +380,9 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
       g[uj + 1] = -sn[uj] * g[uj];
       g[uj] = cs[uj] * g[uj];
       res.relative_residual = std::abs(g[uj + 1]) / bnorm;
+      if (!std::isfinite(res.relative_residual)) {
+        return finish_true_residual(w, SolverStop::kNonFinite);
+      }
       if (res.relative_residual <= opts.tolerance || hnext == 0) {
         // Converged — or a HAPPY BREAKDOWN (hnext == 0): the Krylov space
         // became A M^{-1}-invariant, the least-squares problem is solved
@@ -321,11 +418,7 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
     // restart, never when to stop.
   }
   // Iteration budget exhausted; report the true residual.
-  spmv(a, part, x, w);
-  for (std::size_t i = 0; i < un; ++i) w[i] = b[i] - w[i];
-  res.relative_residual = norm2(w) / bnorm;
-  res.converged = res.relative_residual <= opts.tolerance;
-  return res;
+  return finish_true_residual(w, SolverStop::kMaxIterations);
 }
 
 }  // namespace javelin

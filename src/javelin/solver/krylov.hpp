@@ -7,7 +7,9 @@
 // Factorization plus its reusable SolveWorkspace behind that interface.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -54,13 +56,55 @@ struct SolverOptions {
   double tolerance = 1e-8;
   /// GMRES restart length m.
   int restart = 30;
+  /// Iterations without a new best relative residual before the driver gives
+  /// up with SolverStop::kStagnation (0 disables the guard — the historical
+  /// behavior of burning the full max_iterations budget on a plateau).
+  int stagnation_window = 0;
 };
+
+/// Why a Krylov driver stopped. Every exit is classified — breakdown and
+/// non-finite arithmetic retire the solve with an honest (recomputed) true
+/// residual instead of silently exhausting max_iterations on garbage.
+enum class SolverStop : std::uint8_t {
+  kConverged,      ///< relative residual reached the tolerance
+  kMaxIterations,  ///< iteration budget exhausted
+  kBreakdown,      ///< Krylov breakdown ((r,z) or (p,Ap) non-positive: indefinite A or M)
+  kNonFinite,      ///< NaN/Inf appeared in the recurrence
+  kStagnation,     ///< no residual progress within stagnation_window
+};
+
+const char* to_string(SolverStop stop) noexcept;
 
 struct SolverResult {
   bool converged = false;
   int iterations = 0;          ///< matrix applications performed
   double relative_residual = 0.0;
+  SolverStop stop = SolverStop::kMaxIterations;  ///< why the driver returned
 };
+
+namespace detail {
+
+/// Plateau detector shared by the scalar and batched drivers (one
+/// implementation so the per-column retirement of pcg_many cannot drift from
+/// scalar pcg): stagnated when `window` iterations pass without a new best
+/// relative residual. Aggregate so ColumnState can hold one per column.
+struct StagnationGuard {
+  int window = 0;
+  value_t best = std::numeric_limits<value_t>::infinity();
+  int best_it = 0;
+
+  bool stagnated(int it, value_t rel) noexcept {
+    if (window <= 0) return false;
+    if (rel < best) {
+      best = rel;
+      best_it = it;
+      return false;
+    }
+    return it - best_it >= window;
+  }
+};
+
+}  // namespace detail
 
 /// Preconditioned conjugate gradients (SPD systems). `x` holds the initial
 /// guess on entry and the solution on exit.

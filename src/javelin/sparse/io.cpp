@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -61,7 +62,20 @@ CsrMatrix read_matrix_market(std::istream& in) {
     double v = 1.0;
     in >> r64 >> c64;
     if (!is_pattern) in >> v;
-    JAVELIN_CHECK(!in.fail(), "malformed entry line");
+    // A failed extraction covers both malformed tokens and fields that
+    // overflow their type (indices wider than int64, values outside double
+    // range) — all must fail HERE, with the entry number, not later as
+    // garbage coordinates or poisoned factor values.
+    if (in.fail()) {
+      throw Error("matrix-market entry " + std::to_string(k + 1) +
+                  ": malformed or overflowing entry line");
+    }
+    if (!std::isfinite(v)) {
+      // NaN/Inf values would silently poison every downstream kernel (the
+      // solvers guard, but the matrix itself must be rejected at the door).
+      throw Error("matrix-market entry " + std::to_string(k + 1) +
+                  ": non-finite value " + std::to_string(v));
+    }
     // Coordinate entries are 1-based and must land inside the declared
     // dimensions; a malformed file must fail here, not as an out-of-bounds
     // access when the COO entries reach the CSR kernels.

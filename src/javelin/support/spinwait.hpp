@@ -96,6 +96,40 @@ class Backoff {
   const int max_pauses_;
 };
 
+/// Cooperative poison flag for a parallel region: the first worker that
+/// detects a condition the region cannot recover from (zero pivot,
+/// injected fault, non-finite value) publishes the offending row here and
+/// stops publishing progress. Every spin-wait in the region polls the flag,
+/// so peers that would otherwise wait forever on the dead row drain out of
+/// their wait loops within a bounded number of misses instead. The flag
+/// carries the *first* reported row (CAS, first writer wins) so the caller
+/// can attribute the abort deterministically when only one row can fail.
+class AbortFlag {
+ public:
+  /// Request an abort attributed to `row`. Returns true when this call won
+  /// the race to be the recorded cause.
+  bool request(index_t row) noexcept {
+    index_t expected = kInvalidIndex;
+    return first_.compare_exchange_strong(expected, row,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  bool aborted() const noexcept {
+    return first_.load(std::memory_order_acquire) != kInvalidIndex;
+  }
+
+  /// Row recorded by the winning request (kInvalidIndex when not aborted).
+  index_t row() const noexcept {
+    return first_.load(std::memory_order_acquire);
+  }
+
+  void reset() noexcept { first_.store(kInvalidIndex, std::memory_order_release); }
+
+ private:
+  alignas(kCacheLine) std::atomic<index_t> first_{kInvalidIndex};
+};
+
 /// Per-thread monotone progress counters with acquire/release publication.
 ///
 /// Thread t executes its scheduled items in a fixed order; after finishing
@@ -140,11 +174,19 @@ class ProgressCounters {
   /// producer (more threads than cores) can be scheduled instead of starving
   /// behind the spinner. Callers that know their team is oversubscribed pass
   /// spin_budget_for(team) so already the second miss yields.
-  void wait_for(int t, index_t count,
-                int spin_budget = kSpinsBeforeYield) const noexcept {
+  ///
+  /// When `abort` is non-null the wait also polls the abort flag on every
+  /// miss and gives up as soon as it is raised — the producer may never
+  /// publish `count`. Returns false on abort, true when the count arrived.
+  bool wait_for(int t, index_t count, int spin_budget = kSpinsBeforeYield,
+                const AbortFlag* abort = nullptr) const noexcept {
     const auto& c = counters_[static_cast<std::size_t>(t)].value;
     Backoff backoff(spin_budget);
-    while (c.load(std::memory_order_acquire) < count) backoff.miss();
+    while (c.load(std::memory_order_acquire) < count) {
+      if (abort != nullptr && abort->aborted()) return false;
+      backoff.miss();
+    }
+    return true;
   }
 
  private:
@@ -181,7 +223,15 @@ class SpinBarrier {
  public:
   explicit SpinBarrier(int parties) noexcept : parties_(parties) {}
 
-  void arrive_and_wait(int spin_budget = kSpinsBeforeYield) noexcept {
+  /// Arrive and wait for the barrier to turn. When `abort` is non-null a
+  /// waiter also polls the abort flag and bails out (returning false)
+  /// instead of waiting on parties that aborted before arriving; the
+  /// barrier's internal state is then inconsistent, which is fine because
+  /// an aborted region abandons the whole level loop — and with it this
+  /// (per-call) barrier — on every thread. Returns true when the barrier
+  /// completed normally.
+  bool arrive_and_wait(int spin_budget = kSpinsBeforeYield,
+                       const AbortFlag* abort = nullptr) noexcept {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       arrived_.store(0, std::memory_order_relaxed);
@@ -189,9 +239,11 @@ class SpinBarrier {
     } else {
       Backoff backoff(spin_budget);
       while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (abort != nullptr && abort->aborted()) return false;
         backoff.miss();
       }
     }
+    return true;
   }
 
  private:

@@ -12,9 +12,18 @@
 // to on a smaller machine (otherwise every t > cores row measures the same
 // retargeted schedule).
 //
-//   javelin_bench [--scale S] [--threads 1,2,4] [--reps N] [--fill K]
+//   javelin_bench [--scale S] [--threads 1,2,4] [--repeats N] [--fill K]
 //                 [--tier small|large] [--streams 1,4,16,64]
 //                 [--matrices name1,name2] [--matrix file.mtx] [--out PATH]
+//                 [--trace trace.json]
+//
+// --repeats N (alias: --reps) runs each timed kernel N measured times after
+// one warmup-discard run and reports BOTH the minimum and the median — the
+// min is the scalability number, the min/median gap is the noise floor of
+// the measurement. --trace records one instrumented pass per matrix (at the
+// last thread count) into a Chrome trace_event JSON: per-thread per-level
+// sweep spans, spin-stall and barrier events, Krylov iteration spans
+// (chrome://tracing or https://ui.perfetto.dev).
 //
 // --matrices also accepts laplacian3d_<s> / laplacian2d_<s> / aniso3d_<s> /
 // jump3d_<s> (s×s×s or s×s grids at full scale); --matrix (repeatable)
@@ -43,6 +52,7 @@
 #include "javelin/gen/generators.hpp"
 #include "javelin/ilu/batch.hpp"
 #include "javelin/ilu/solve.hpp"
+#include "javelin/obs/exec_obs.hpp"
 #include "javelin/solver/krylov.hpp"
 #include "javelin/solver/robust.hpp"
 #include "javelin/sparse/io.hpp"
@@ -70,6 +80,7 @@ struct BenchConfig {
   std::vector<std::string> matrices;      // empty = tier default list
   std::vector<std::string> matrix_files;  // Matrix-Market paths (--matrix)
   std::string out = "BENCH_javelin.json";
+  std::string trace;  // Chrome trace output path; empty = tracing off
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -100,7 +111,7 @@ BenchConfig parse_args(int argc, char** argv) {
       for (const std::string& t : split_csv(next())) {
         cfg.threads.push_back(std::atoi(t.c_str()));
       }
-    } else if (arg == "--reps") {
+    } else if (arg == "--reps" || arg == "--repeats") {
       cfg.reps = std::max(1, std::atoi(next().c_str()));
     } else if (arg == "--fill") {
       cfg.fill = std::atoi(next().c_str());
@@ -121,6 +132,8 @@ BenchConfig parse_args(int argc, char** argv) {
       cfg.matrix_files.push_back(next());
     } else if (arg == "--out") {
       cfg.out = next();
+    } else if (arg == "--trace") {
+      cfg.trace = next();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -138,11 +151,38 @@ struct SchedStats {
   index_t waits = 0;       // spin-waits kept after sparsification
   index_t items = 0;
   index_t max_items_per_thread = 0;
+  // Rows-per-level shape — the critical-path statistic of the level DAG:
+  // `levels` is the critical-path LENGTH (barriers per CSR-LS sweep), these
+  // are how much parallel work each of its steps carries.
+  index_t rows_per_level_min = 0;
+  index_t rows_per_level_med = 0;
+  index_t rows_per_level_max = 0;
+  std::vector<std::uint64_t> rows_per_level_hist;  // log2 buckets, trimmed
 };
 
 SchedStats sched_stats(const ExecSchedule& s) {
-  return SchedStats{s.num_levels, s.deps_total, s.deps_kept, s.num_items(),
-                    s.max_items_per_thread()};
+  SchedStats st{s.num_levels, s.deps_total, s.deps_kept, s.num_items(),
+                s.max_items_per_thread()};
+  if (s.num_levels > 0 &&
+      s.level_ptr.size() > static_cast<std::size_t>(s.num_levels)) {
+    std::vector<index_t> rows(static_cast<std::size_t>(s.num_levels));
+    obs::FixedHistogram h;
+    for (index_t l = 0; l < s.num_levels; ++l) {
+      const index_t r = s.level_ptr[static_cast<std::size_t>(l) + 1] -
+                        s.level_ptr[static_cast<std::size_t>(l)];
+      rows[static_cast<std::size_t>(l)] = r;
+      h.record(static_cast<std::uint64_t>(r));
+    }
+    std::sort(rows.begin(), rows.end());
+    st.rows_per_level_min = rows.front();
+    st.rows_per_level_med = rows[rows.size() / 2];
+    st.rows_per_level_max = rows.back();
+    st.rows_per_level_hist.resize(static_cast<std::size_t>(h.used_buckets()));
+    for (std::size_t b = 0; b < st.rows_per_level_hist.size(); ++b) {
+      st.rows_per_level_hist[b] = h.count(static_cast<int>(b));
+    }
+  }
+  return st;
 }
 
 struct ThreadTimings {
@@ -154,6 +194,13 @@ struct ThreadTimings {
   double solve_s = 0;              // one ilu_apply, P2P backend
   double solve_ls_s = 0;           // one ilu_apply, barrier CSR-LS backend
   double spmv_s = 0;               // one partitioned spmv
+  // Medians of the same measured repetitions (min above is the scalability
+  // number; median - min is the run-to-run noise the min filtered out).
+  double factor_med_s = 0;
+  double refactor_med_s = 0;
+  double solve_med_s = 0;
+  double solve_ls_med_s = 0;
+  double spmv_med_s = 0;
   // Full ILU-PCG race per backend (symmetric entries; -1 = not run):
   double ilu_pcg_ls_s = -1;
   SchedStats fwd, bwd;             // schedule shape at this thread count
@@ -187,6 +234,65 @@ struct ThroughputRow {
   int threads = 0;
   double solve_1_s = 0;  ///< single-RHS scalar apply in the same config
   std::vector<StreamPoint> points;
+};
+
+/// Stall telemetry of one instrumented sweep region (schema-v4
+/// `stall_profile`): where a sweep's wall time went — computing rows vs
+/// spin-stalled on producers (P2P) vs crossing barriers (CSR-LS).
+struct RegionProfile {
+  bool present = false;
+  std::uint64_t sweeps = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t critical_path_ns = 0;
+  double occupancy = 0;
+  double sync_wait_frac = 0;
+  obs::WaitCounters total;
+  /// Per-level wait / (busy + wait). Averaged into at most 256 bins for
+  /// deep level structures (binned = true) to bound the JSON size.
+  std::vector<double> level_wait_frac;
+  bool binned = false;
+};
+
+constexpr std::size_t kMaxProfileLevels = 256;
+
+RegionProfile region_profile(const obs::ExecStats& st) {
+  RegionProfile p;
+  if (st.sweeps == 0) return p;
+  p.present = true;
+  p.sweeps = st.sweeps;
+  p.wall_ns = st.wall_ns;
+  p.critical_path_ns = st.critical_path_ns;
+  p.occupancy = st.occupancy();
+  p.sync_wait_frac = st.sync_wait_frac();
+  p.total = st.total;
+  std::vector<double> lw = st.level_wait_frac();
+  if (lw.size() > kMaxProfileLevels) {
+    p.binned = true;
+    std::vector<double> binned(kMaxProfileLevels, 0.0);
+    std::vector<int> counts(kMaxProfileLevels, 0);
+    for (std::size_t l = 0; l < lw.size(); ++l) {
+      const std::size_t b = l * kMaxProfileLevels / lw.size();
+      binned[b] += lw[l];
+      counts[b] += 1;
+    }
+    for (std::size_t b = 0; b < binned.size(); ++b) {
+      if (counts[b] > 0) binned[b] /= counts[b];
+    }
+    p.level_wait_frac = std::move(binned);
+  } else {
+    p.level_wait_frac = std::move(lw);
+  }
+  return p;
+}
+
+/// Per-matrix stall telemetry: the forward and backward sweep regions of one
+/// instrumented ilu_apply pass per backend. threads == 0 means not collected
+/// (robust-only rows).
+struct StallProfile {
+  int threads = 0;
+  int reps = 0;
+  RegionProfile p2p_fwd, p2p_bwd;
+  RegionProfile ls_fwd, ls_bwd;
 };
 
 struct MatrixReport {
@@ -234,6 +340,7 @@ struct MatrixReport {
   bool robust_only = false;
   std::vector<ThreadTimings> timings;
   std::vector<ThroughputRow> throughput;
+  StallProfile stall;  ///< instrumented pass at the last thread count
 };
 
 double peak_rss_mb_now() {
@@ -253,19 +360,77 @@ std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
 /// One solve_robust run against a consistent rhs (b = A·x_true): records the
 /// breakdown/retry trail into the report. Healthy matrices cost one Krylov
 /// solve (attempts == 1, shift == 0); degenerate ones walk the ladder.
-void run_robust(MatrixReport& rep, const CsrMatrix& a) {
+SolveReport run_robust(MatrixReport& rep, const CsrMatrix& a) {
   const auto xt = random_vector(a.rows(), 0x5EED);
   std::vector<value_t> b(xt.size());
   spmv(a, xt, b);
   std::vector<value_t> x(xt.size(), 0.0);
   RobustOptions ropts;
   ropts.solver.max_iterations = 2000;
-  const SolveReport sr = solve_robust(a, b, x, ropts);
+  SolveReport sr = solve_robust(a, b, x, ropts);
   rep.robust_attempts = static_cast<int>(sr.attempts.size());
   rep.robust_shift = sr.shift_used;
   rep.robust_level = to_string(sr.level_used);
   rep.robust_cause = to_string(sr.cause);
   rep.robust_converged = sr.converged;
+  return sr;
+}
+
+/// Instrumented pass at one thread count: ilu_apply under each backend with
+/// an ExecObs attached (fresh factor copies — the timing sweep above must
+/// never run instrumented instantiations). Doubles as the traced pass when
+/// --trace is set: the session is enabled around it, so the sweep spans,
+/// stall/barrier events and — via a short instrumented Krylov run — the
+/// per-iteration spans all land in the trace buffers.
+void collect_stall_profile(MatrixReport& rep, const Factorization& f,
+                           const CsrMatrix& a, bool sym, int t,
+                           const BenchConfig& cfg) {
+  const bool tracing = !cfg.trace.empty();
+  if (tracing) obs::TraceSession::instance().enable();
+
+  rep.stall.threads = t;
+  rep.stall.reps = cfg.reps;
+  const auto r = random_vector(a.rows(), 0x0B5);
+  std::vector<value_t> z(r.size());
+  for (const ExecBackend be : {ExecBackend::kP2P, ExecBackend::kBarrier}) {
+    Factorization fb = f;
+    set_exec_backend(fb, be);
+    obs::ExecObs eo;
+    fb.opts.exec_obs = &eo;
+    SolveWorkspace ws;
+    ilu_apply(fb, r, z, ws);  // warm (workspace + retarget caches)
+    eo.reset();
+    for (int i = 0; i < cfg.reps; ++i) ilu_apply(fb, r, z, ws);
+    RegionProfile fwd = region_profile(eo.stats(obs::Region::kForward));
+    RegionProfile bwd = region_profile(eo.stats(obs::Region::kBackward));
+    if (be == ExecBackend::kP2P) {
+      rep.stall.p2p_fwd = std::move(fwd);
+      rep.stall.p2p_bwd = std::move(bwd);
+    } else {
+      rep.stall.ls_fwd = std::move(fwd);
+      rep.stall.ls_bwd = std::move(bwd);
+    }
+  }
+
+  if (tracing) {
+    // Krylov iteration spans: a short instrumented solve (tolerance 0 runs
+    // the full budget, so the trace gets a fixed number of iteration spans
+    // each wrapping the fwd/bwd sweep spans of its preconditioner apply).
+    Factorization fk = f;
+    obs::ExecObs eo;
+    fk.opts.exec_obs = &eo;
+    SolverOptions so;
+    so.max_iterations = 5;
+    so.tolerance = 0;
+    IluPreconditioner m(std::move(fk));
+    std::vector<value_t> x(r.size(), 0);
+    if (sym) {
+      pcg(a, r, x, m.fn(), so);
+    } else {
+      gmres(a, r, x, m.fn(), so);
+    }
+    obs::TraceSession::instance().disable();
+  }
 }
 
 /// Degenerate fixtures run ONLY the robust pipeline: the timing sweep
@@ -277,12 +442,11 @@ MatrixReport bench_degenerate(const gen::SuiteEntry& e) {
   rep.n = e.matrix.rows();
   rep.nnz = e.matrix.nnz();
   rep.robust_only = true;
-  run_robust(rep, e.matrix);
+  const SolveReport sr = run_robust(rep, e.matrix);
   rep.peak_rss_mb = peak_rss_mb_now();
-  std::printf("  %-18s robust: %s attempts=%d shift=%g level=%s cause=%s\n",
-              e.name.c_str(), rep.robust_converged ? "converged" : "FAILED",
-              rep.robust_attempts, rep.robust_shift, rep.robust_level.c_str(),
-              rep.robust_cause.c_str());
+  // The full per-attempt ladder trail: these fixtures exist to exercise the
+  // breakdown path, so what each rung did IS the result worth reading.
+  std::printf("  %-18s robust: %s\n", e.name.c_str(), sr.summary().c_str());
   return rep;
 }
 
@@ -309,7 +473,12 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
 
     ThreadTimings tt;
     tt.threads = t;
-    tt.factor_s = min_time_seconds([&] { ilu_factor(a, opts); }, cfg.reps, 1);
+    {
+      const RepTimes rt =
+          rep_times_seconds([&] { ilu_factor(a, opts); }, cfg.reps, 1);
+      tt.factor_s = rt.min_s;
+      tt.factor_med_s = rt.median_s;
+    }
 
     Factorization f = ilu_factor(a, opts);
     tt.fwd = sched_stats(f.fwd);
@@ -319,8 +488,12 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
       rep.rows_moved = f.plan.rows_moved;
       rep.method = lower_method_name(f.plan.method);
     }
-    tt.refactor_s =
-        min_time_seconds([&] { ilu_refactor(f, a); }, cfg.reps, 1);
+    {
+      const RepTimes rt =
+          rep_times_seconds([&] { ilu_refactor(f, a); }, cfg.reps, 1);
+      tt.refactor_s = rt.min_s;
+      tt.refactor_med_s = rt.median_s;
+    }
     tt.scatter_map_s =
         min_time_seconds([&] { scatter_values(f, a); }, cfg.reps, 1);
     tt.scatter_searched_s =
@@ -333,8 +506,12 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     std::vector<value_t> z(r.size());
     SolveWorkspace ws;
     ilu_apply(f, r, z, ws);  // warm the workspace
-    tt.solve_s =
-        min_time_seconds([&] { ilu_apply(f, r, z, ws); }, cfg.reps, 1);
+    {
+      const RepTimes rt =
+          rep_times_seconds([&] { ilu_apply(f, r, z, ws); }, cfg.reps, 1);
+      tt.solve_s = rt.min_s;
+      tt.solve_med_s = rt.median_s;
+    }
 
     // Barrier (CSR-LS) baseline on the SAME factor — flip the backend tag
     // (structure is shared), re-time the apply, and check bitwise parity
@@ -345,15 +522,28 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
       std::vector<value_t> zb(r.size());
       SolveWorkspace wsb;
       ilu_apply(fb, r, zb, wsb);  // warm
-      tt.solve_ls_s =
-          min_time_seconds([&] { ilu_apply(fb, r, zb, wsb); }, cfg.reps, 1);
+      const RepTimes rt =
+          rep_times_seconds([&] { ilu_apply(fb, r, zb, wsb); }, cfg.reps, 1);
+      tt.solve_ls_s = rt.min_s;
+      tt.solve_ls_med_s = rt.median_s;
       if (zb != z) rep.backend_parity = false;
+    }
+
+    // Instrumented pass (stall_profile + optional trace) at the LAST thread
+    // count — after the uninstrumented timings above, on fresh factor
+    // copies, so the numbers it perturbs are its own.
+    if (ti + 1 == cfg.threads.size()) {
+      collect_stall_profile(rep, f, a, e.paper_sym_pattern, t, cfg);
     }
 
     const RowPartition part = RowPartition::build(a, t);
     std::vector<value_t> y(r.size());
-    tt.spmv_s =
-        min_time_seconds([&] { spmv(a, part, r, y); }, cfg.reps, 1);
+    {
+      const RepTimes rt =
+          rep_times_seconds([&] { spmv(a, part, r, y); }, cfg.reps, 1);
+      tt.spmv_s = rt.min_s;
+      tt.spmv_med_s = rt.median_s;
+    }
 
     // Batched many-RHS serving throughput: solve_many over k concurrent
     // right-hand sides under the SERVING configuration (retarget on — a
@@ -591,13 +781,14 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
 
 void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
   std::ofstream os(cfg.out);
-  // schema_version 3: + robust_attempts / shift_used / robust_level /
-  // robust_cause / robust_converged (breakdown-retry trail of one
-  // solve_robust run per matrix) and the robust_only flag marking the
-  // degenerate group-D fixtures. schema_version 2 added tier / streams
-  // headers, the per-matrix throughput table, peak_rss_mb and the trimmed
-  // flag. See README "Benchmark JSON schema".
-  os << "{\n  \"schema_version\": 3,\n  \"tier\": \"" << cfg.tier
+  // schema_version 4: + per-matrix stall_profile (spin-wait / barrier
+  // telemetry of one instrumented pass per backend at the last thread
+  // count), *_med_s median timings next to the min-of-reps numbers, and
+  // rows_per_level_{min,med,max,hist} in the sched_fwd/sched_bwd blocks.
+  // schema_version 3 added the robust_* breakdown-retry trail and
+  // robust_only; 2 added tier / streams headers, the throughput table,
+  // peak_rss_mb and trimmed. See README "Benchmark JSON schema".
+  os << "{\n  \"schema_version\": 4,\n  \"tier\": \"" << cfg.tier
      << "\",\n  \"suite_scale\": " << cfg.scale
      << ",\n  \"fill_level\": " << cfg.fill << ",\n  \"reps\": " << cfg.reps
      << ",\n  \"threads\": [";
@@ -639,19 +830,32 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
       os << ", \"" << key << "\": {\"levels\": " << s.levels
          << ", \"deps_total\": " << s.deps_total << ", \"waits\": " << s.waits
          << ", \"items\": " << s.items
-         << ", \"max_items_per_thread\": " << s.max_items_per_thread << "}";
+         << ", \"max_items_per_thread\": " << s.max_items_per_thread
+         << ", \"rows_per_level_min\": " << s.rows_per_level_min
+         << ", \"rows_per_level_med\": " << s.rows_per_level_med
+         << ", \"rows_per_level_max\": " << s.rows_per_level_max
+         << ", \"rows_per_level_hist\": [";
+      for (std::size_t b = 0; b < s.rows_per_level_hist.size(); ++b) {
+        os << (b ? ", " : "") << s.rows_per_level_hist[b];
+      }
+      os << "]}";
     };
     for (std::size_t j = 0; j < r.timings.size(); ++j) {
       const ThreadTimings& t = r.timings[j];
       os << "       {\"threads\": " << t.threads << ", \"factor_s\": "
-         << t.factor_s << ", \"refactor_s\": " << t.refactor_s
+         << t.factor_s << ", \"factor_med_s\": " << t.factor_med_s
+         << ", \"refactor_s\": " << t.refactor_s
+         << ", \"refactor_med_s\": " << t.refactor_med_s
          << ", \"scatter_map_s\": " << t.scatter_map_s
          << ", \"scatter_searched_s\": " << t.scatter_searched_s
          << ", \"solve_s\": " << t.solve_s
+         << ", \"solve_med_s\": " << t.solve_med_s
          << ", \"solve_ls_s\": " << t.solve_ls_s
+         << ", \"solve_ls_med_s\": " << t.solve_ls_med_s
          << ", \"ls_over_p2p_solve\": "
          << (t.solve_s > 0 ? t.solve_ls_s / t.solve_s : -1)
          << ", \"spmv_s\": " << t.spmv_s
+         << ", \"spmv_med_s\": " << t.spmv_med_s
          << ", \"pcg_fused_iter_s\": " << t.pcg_fused_iter_s
          << ", \"pcg_unfused_iter_s\": " << t.pcg_unfused_iter_s
          << ", \"gmres_fused_iter_s\": " << t.gmres_fused_iter_s
@@ -680,7 +884,48 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
       }
       os << "]}" << (j + 1 < r.throughput.size() ? "," : "") << "\n";
     }
-    os << "     ]}" << (i + 1 < reps.size() ? "," : "") << "\n";
+    os << "     ],\n     \"stall_profile\": ";
+    if (r.stall.threads == 0) {
+      os << "null";
+    } else {
+      const auto region = [&os](const char* key, const RegionProfile& p) {
+        os << "\"" << key << "\": ";
+        if (!p.present) {
+          os << "null";
+          return;
+        }
+        os << "{\"sweeps\": " << p.sweeps << ", \"wall_ns\": " << p.wall_ns
+           << ", \"critical_path_ns\": " << p.critical_path_ns
+           << ", \"occupancy\": " << p.occupancy
+           << ", \"sync_wait_frac\": " << p.sync_wait_frac
+           << ", \"waits\": " << p.total.waits
+           << ", \"waits_immediate\": " << p.total.waits_immediate
+           << ", \"waits_stalled\": " << p.total.waits_stalled
+           << ", \"spins\": " << p.total.spins
+           << ", \"yields\": " << p.total.yields
+           << ", \"barrier_waits\": " << p.total.barrier_waits
+           << ", \"busy_ns\": " << p.total.busy_ns
+           << ", \"wait_ns\": " << p.total.wait_ns
+           << ", \"barrier_ns\": " << p.total.barrier_ns
+           << ", \"level_wait_frac_binned\": "
+           << (p.binned ? "true" : "false") << ", \"level_wait_frac\": [";
+        for (std::size_t l = 0; l < p.level_wait_frac.size(); ++l) {
+          os << (l ? ", " : "") << p.level_wait_frac[l];
+        }
+        os << "]}";
+      };
+      os << "{\"threads\": " << r.stall.threads
+         << ", \"reps\": " << r.stall.reps << ",\n      \"p2p\": {";
+      region("fwd", r.stall.p2p_fwd);
+      os << ", ";
+      region("bwd", r.stall.p2p_bwd);
+      os << "},\n      \"barrier\": {";
+      region("fwd", r.stall.ls_fwd);
+      os << ", ";
+      region("bwd", r.stall.ls_bwd);
+      os << "}}";
+    }
+    os << "}" << (i + 1 < reps.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -816,6 +1061,17 @@ int main(int argc, char** argv) {
 
   write_json(cfg, reports);
   std::printf("wrote %s\n", cfg.out.c_str());
+
+  if (!cfg.trace.empty()) {
+    obs::TraceSession& ts = obs::TraceSession::instance();
+    if (ts.write_file(cfg.trace)) {
+      std::printf("wrote %s (%zu trace events)\n", cfg.trace.c_str(),
+                  ts.event_count());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", cfg.trace.c_str());
+      return 1;
+    }
+  }
 
   // Standing gate: the parity guarantees must stay green on every
   // non-degenerate matrix — a bench run that produced a parity failure is a

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON emitted by javelin_bench --trace.
+
+Checks, in order:
+  1. the file parses as JSON and has a non-empty traceEvents array;
+  2. every event carries the required trace_event fields (name/ph/ts/pid/tid)
+     and a known phase ('B', 'E' or 'X');
+  3. per (pid, tid), 'B'/'E' events balance like parentheses with matching
+     names — an unbalanced stream renders as garbage in Perfetto;
+  4. per (pid, tid), 'B'/'E' timestamps are monotone non-decreasing in
+     recorded order ('X' events carry their own start and are exempt).
+
+Exit code 0 on success, 1 on any violation (CI gates on it).
+
+Usage: validate_trace.py trace.json
+"""
+
+import collections
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py trace.json")
+    path = sys.argv[1]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents array")
+    if not events:
+        fail("traceEvents is empty (tracing enabled but nothing recorded)")
+
+    stacks = collections.defaultdict(list)
+    last_ts = {}
+    phases = collections.Counter()
+    for i, e in enumerate(events):
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                fail(f"event {i} missing field {field!r}: {e}")
+        ph = e["ph"]
+        phases[ph] += 1
+        if ph not in ("B", "E", "X"):
+            fail(f"event {i} has unknown phase {ph!r}")
+        if ph == "X":
+            if e.get("dur", -1) < 0:
+                fail(f"event {i} ('X' {e['name']}) missing/negative dur")
+            continue
+        key = (e["pid"], e["tid"])
+        ts = float(e["ts"])
+        if key in last_ts and ts < last_ts[key]:
+            fail(
+                f"event {i} ({ph} {e['name']}): non-monotone ts on tid "
+                f"{e['tid']} ({ts} < {last_ts[key]})"
+            )
+        last_ts[key] = ts
+        if ph == "B":
+            stacks[key].append(e["name"])
+        else:
+            if not stacks[key]:
+                fail(f"event {i}: E({e['name']}) with empty span stack")
+            top = stacks[key].pop()
+            if top != e["name"]:
+                fail(f"event {i}: E({e['name']}) closes B({top})")
+
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            fail(f"tid {tid}: {len(stack)} unclosed B events: {stack[:5]}")
+
+    tids = sorted({e["tid"] for e in events})
+    print(
+        f"validate_trace: OK: {len(events)} events on {len(tids)} threads "
+        f"(B={phases['B']} E={phases['E']} X={phases['X']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

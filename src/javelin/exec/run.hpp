@@ -31,12 +31,25 @@
 // returns a structured ExecStatus and the caller decides whether to throw,
 // retry, or fall back. Void-returning row functions keep the historical
 // zero-overhead hot path (no flag polling at all).
+//
+// Observability follows the same compile-time gating pattern: the region
+// body is one template, detail::exec_run_impl<Obs>. exec_run instantiates
+// it with detail::NoObs — every instrumentation site is an `if constexpr`
+// on Obs::kOn, so the default path compiles to exactly the historical loop
+// (no clock reads, no counter stores, no trace checks). exec_run_obs
+// instantiates with obs::SweepObs, which records per-thread spin-wait
+// counters, per-(thread, level) busy/wait time, and (when the trace
+// session is on) per-thread per-level spans — aggregated into the
+// obs::ExecStats of the caller's ExecObs, returned next to the ExecStatus.
 #pragma once
 
+#include <cstdint>
 #include <type_traits>
 #include <utility>
 
 #include "javelin/exec/schedule.hpp"
+#include "javelin/obs/exec_obs.hpp"
+#include "javelin/obs/trace.hpp"
 #include "javelin/support/parallel.hpp"
 #include "javelin/support/spinwait.hpp"
 
@@ -78,6 +91,17 @@ inline bool exec_row(RowFn& row_fn, index_t row, int t) {
   }
 }
 
+/// Disabled-observability policy: every instrumentation site below is
+/// `if constexpr (Obs::kOn)`, so this instantiation is the zero-overhead
+/// hot loop (bit-for-bit the pre-observability code path).
+struct NoObs {
+  static constexpr bool kOn = false;
+};
+
+/// Stalls shorter than this are counters-only; longer ones also get a trace
+/// event (keeps trace files focused on the waits that explain lost time).
+inline constexpr std::int64_t kStallSpanNs = 1000;
+
 }  // namespace detail
 
 /// Dependency-safe serial sweep (level-major order). Honors cooperative
@@ -98,26 +122,50 @@ ExecStatus exec_run_serial(const ExecSchedule& s, RowFn&& row_fn,
   return {};
 }
 
-/// Execute the schedule with caller-provided progress counters. `row_fn(row,
-/// thread)` is called once per row, in dependency order, from inside a
-/// parallel region; it must not throw. Returning bool (false = poison this
-/// region) opts into cooperative abort; see the header comment.
-///
-/// `progress` is grown (reallocating) only when it is smaller than the
-/// schedule's team and re-armed (zeroed) otherwise, so callers that sweep
-/// thousands of times — the stri-per-Krylov-iteration profile, and the AMG
-/// smoother running stri at every level of every V-cycle — pay the
-/// threads×64B counter allocation once, not per sweep. (The barrier backend
-/// leaves `progress` untouched; it synchronizes through a stack barrier.)
-///
-/// `external_abort`, when provided, is both observed (rows stop being
-/// issued once it is raised, waits give up) and raised on row failure, so
-/// several cooperating stages can share one poison domain.
-template <class RowFn>
-ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
-                    ProgressCounters& progress,
-                    AbortFlag* external_abort = nullptr) {
-  constexpr bool kGuarded = detail::kGuardedRowFn<std::remove_reference_t<RowFn>>;
+namespace detail {
+
+/// Serial sweep with per-level attribution (thread slot 0) and spans.
+template <class RowFn, class Obs>
+ExecStatus exec_run_serial_obs(const ExecSchedule& s, RowFn& row_fn,
+                               AbortFlag* abort, Obs& obs) {
+  obs::TraceBuffer* buf =
+      obs.tracing() ? &obs::TraceSession::instance().buffer() : nullptr;
+  const bool flat = s.level_ptr.empty();
+  const index_t nl = flat ? 1 : s.num_levels;
+  for (index_t l = 0; l < nl; ++l) {
+    const index_t k0 = flat ? 0 : s.level_ptr[static_cast<std::size_t>(l)];
+    const index_t k1 = flat ? static_cast<index_t>(s.serial_order.size())
+                            : s.level_ptr[static_cast<std::size_t>(l) + 1];
+    const std::int64_t t0 = obs::now_ns();
+    for (index_t k = k0; k < k1; ++k) {
+      const index_t r = s.serial_order[static_cast<std::size_t>(k)];
+      if (abort != nullptr && abort->aborted()) {
+        return {ExecOutcome::kAborted, abort->row()};
+      }
+      if (!exec_row(row_fn, r, 0)) {
+        if (abort != nullptr) abort->request(r);
+        return {ExecOutcome::kAborted, r};
+      }
+    }
+    const std::int64_t t1 = obs::now_ns();
+    obs.add_level_busy(0, l, static_cast<std::uint64_t>(t1 - t0));
+    obs.slot(0).busy_ns += static_cast<std::uint64_t>(t1 - t0);
+    if (buf != nullptr) {
+      buf->begin_at(obs.name(), t0, l);
+      buf->end_at(obs.name(), t1);
+    }
+  }
+  return {};
+}
+
+/// The one region body both gating levels instantiate; see the header
+/// comment. Structure (and, for NoObs, codegen) matches the historical
+/// exec_run exactly.
+template <class RowFn, class Obs>
+ExecStatus exec_run_impl(const ExecSchedule& s, RowFn&& row_fn,
+                         ProgressCounters& progress, AbortFlag* external_abort,
+                         Obs& obs) {
+  constexpr bool kGuarded = kGuardedRowFn<std::remove_reference_t<RowFn>>;
   AbortFlag local_abort;
   AbortFlag* abort = external_abort;
   if constexpr (kGuarded) {
@@ -127,7 +175,13 @@ ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
   // the historical hot path compiles with zero abort polling.
   const bool watch = abort != nullptr;
 
-  if (s.threads <= 1) return exec_run_serial(s, row_fn, abort);
+  if (s.threads <= 1) {
+    if constexpr (Obs::kOn) {
+      return exec_run_serial_obs(s, row_fn, abort, obs);
+    } else {
+      return exec_run_serial(s, row_fn, abort);
+    }
+  }
 
   if (s.backend == ExecBackend::kP2P) {
     if (progress.num_threads() < s.threads) {
@@ -148,18 +202,33 @@ ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
     } else if (s.backend == ExecBackend::kBarrier) {
       const int t = thread_id();
       const int spin_budget = spin_budget_for(s.threads);
+      [[maybe_unused]] obs::TraceBuffer* buf = nullptr;
+      if constexpr (Obs::kOn) {
+        if (obs.tracing()) buf = &obs::TraceSession::instance().buffer();
+      }
       for (index_t l = 0; l < s.num_levels; ++l) {
         if (watch && abort->aborted()) break;
         const index_t base = s.level_ptr[static_cast<std::size_t>(l)];
         const index_t lsz = s.level_ptr[static_cast<std::size_t>(l) + 1] - base;
         const Range rr = partition_range(lsz, s.threads, t);
+        std::int64_t t0 = 0;
+        if constexpr (Obs::kOn) t0 = obs::now_ns();
         bool live = true;
         for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
           const index_t row = s.serial_order[static_cast<std::size_t>(k)];
-          if (!detail::exec_row(row_fn, row, t)) {
+          if (!exec_row(row_fn, row, t)) {
             if (abort != nullptr) abort->request(row);
             live = false;
             break;
+          }
+        }
+        if constexpr (Obs::kOn) {
+          const std::int64_t t1 = obs::now_ns();
+          obs.add_level_busy(t, l, static_cast<std::uint64_t>(t1 - t0));
+          obs.slot(t).busy_ns += static_cast<std::uint64_t>(t1 - t0);
+          if (buf != nullptr) {
+            buf->begin_at(obs.name(), t0, l);
+            buf->end_at(obs.name(), t1);
           }
         }
         // A failed thread leaves without arriving, so the barrier can never
@@ -167,38 +236,89 @@ ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
         // wait and drain. No thread ever advances past a poisoned level.
         if (!live) break;
         if (watch && abort->aborted()) break;
-        if (!barrier.arrive_and_wait(spin_budget, abort)) break;
+        if constexpr (Obs::kOn) {
+          const std::int64_t b0 = obs::now_ns();
+          const bool turned =
+              barrier.arrive_and_wait_counted(spin_budget, abort, obs.slot(t));
+          const std::int64_t b1 = obs::now_ns();
+          obs.slot(t).barrier_ns += static_cast<std::uint64_t>(b1 - b0);
+          obs.add_level_wait(t, l, static_cast<std::uint64_t>(b1 - b0));
+          if (buf != nullptr && b1 - b0 >= kStallSpanNs) {
+            buf->complete("barrier", b0, b1 - b0, l);
+          }
+          if (!turned) break;
+        } else {
+          if (!barrier.arrive_and_wait(spin_budget, abort)) break;
+        }
       }
     } else {
       const int t = thread_id();
       const int spin_budget = spin_budget_for(s.threads);
       const index_t lo = s.thread_ptr[static_cast<std::size_t>(t)];
       const index_t hi = s.thread_ptr[static_cast<std::size_t>(t) + 1];
+      [[maybe_unused]] obs::TraceBuffer* buf = nullptr;
+      [[maybe_unused]] index_t span_level = kInvalidIndex;
+      if constexpr (Obs::kOn) {
+        if (obs.tracing()) buf = &obs::TraceSession::instance().buffer();
+      }
       index_t done = 0;
       for (index_t i = lo; i < hi; ++i) {
         if (watch && abort->aborted()) break;
+        [[maybe_unused]] index_t lvl = 0;
+        [[maybe_unused]] std::int64_t w0 = 0;
+        if constexpr (Obs::kOn) {
+          lvl = obs.item_level(i);
+          w0 = obs::now_ns();
+          // One span per contiguous run of same-level items per thread.
+          if (buf != nullptr && lvl != span_level) {
+            if (span_level != kInvalidIndex) buf->end_at(obs.name(), w0);
+            buf->begin_at(obs.name(), w0, lvl);
+            span_level = lvl;
+          }
+        }
         // One merged wait list, then the whole row block — the spin-wait
         // checks and the release store are amortized over chunk_rows rows.
         bool live = true;
         for (index_t w = s.wait_ptr[static_cast<std::size_t>(i)];
              w < s.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
-          if (!progress.wait_for(
-                  static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]),
-                  s.wait_count[static_cast<std::size_t>(w)], spin_budget,
-                  abort)) {
+          const int pt =
+              static_cast<int>(s.wait_thread[static_cast<std::size_t>(w)]);
+          const index_t pc = s.wait_count[static_cast<std::size_t>(w)];
+          bool arrived;
+          if constexpr (Obs::kOn) {
+            arrived = progress.wait_for_counted(pt, pc, spin_budget, abort,
+                                                obs.slot(t));
+          } else {
+            arrived = progress.wait_for(pt, pc, spin_budget, abort);
+          }
+          if (!arrived) {
             live = false;
             break;
+          }
+        }
+        [[maybe_unused]] std::int64_t w1 = 0;
+        if constexpr (Obs::kOn) {
+          w1 = obs::now_ns();
+          obs.slot(t).wait_ns += static_cast<std::uint64_t>(w1 - w0);
+          obs.add_level_wait(t, lvl, static_cast<std::uint64_t>(w1 - w0));
+          if (buf != nullptr && w1 - w0 >= kStallSpanNs) {
+            buf->complete("stall", w0, w1 - w0, lvl);
           }
         }
         if (!live) break;
         for (index_t k = s.item_ptr[static_cast<std::size_t>(i)];
              k < s.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
           const index_t row = s.rows[static_cast<std::size_t>(k)];
-          if (!detail::exec_row(row_fn, row, t)) {
+          if (!exec_row(row_fn, row, t)) {
             if (abort != nullptr) abort->request(row);
             live = false;
             break;
           }
+        }
+        if constexpr (Obs::kOn) {
+          const std::int64_t w2 = obs::now_ns();
+          obs.slot(t).busy_ns += static_cast<std::uint64_t>(w2 - w1);
+          obs.add_level_busy(t, lvl, static_cast<std::uint64_t>(w2 - w1));
         }
         // A failed item is never published, so consumers of any row in it
         // (or after it) stall on the counter until they observe the flag.
@@ -206,13 +326,50 @@ ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
         ++done;
         progress.publish(t, done);
       }
+      if constexpr (Obs::kOn) {
+        if (buf != nullptr && span_level != kInvalidIndex) {
+          buf->end_at(obs.name(), obs::now_ns());
+        }
+      }
     }
   }
   if (abort != nullptr && abort->aborted()) {
     return {ExecOutcome::kAborted, abort->row()};
   }
-  if (fallback) return exec_run_serial(s, row_fn, abort);
+  if (fallback) {
+    if constexpr (Obs::kOn) {
+      return exec_run_serial_obs(s, row_fn, abort, obs);
+    } else {
+      return exec_run_serial(s, row_fn, abort);
+    }
+  }
   return {};
+}
+
+}  // namespace detail
+
+/// Execute the schedule with caller-provided progress counters. `row_fn(row,
+/// thread)` is called once per row, in dependency order, from inside a
+/// parallel region; it must not throw. Returning bool (false = poison this
+/// region) opts into cooperative abort; see the header comment.
+///
+/// `progress` is grown (reallocating) only when it is smaller than the
+/// schedule's team and re-armed (zeroed) otherwise, so callers that sweep
+/// thousands of times — the stri-per-Krylov-iteration profile, and the AMG
+/// smoother running stri at every level of every V-cycle — pay the
+/// threads×64B counter allocation once, not per sweep. (The barrier backend
+/// leaves `progress` untouched; it synchronizes through a stack barrier.)
+///
+/// `external_abort`, when provided, is both observed (rows stop being
+/// issued once it is raised, waits give up) and raised on row failure, so
+/// several cooperating stages can share one poison domain.
+template <class RowFn>
+ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
+                    ProgressCounters& progress,
+                    AbortFlag* external_abort = nullptr) {
+  detail::NoObs no_obs;
+  return detail::exec_run_impl(s, std::forward<RowFn>(row_fn), progress,
+                               external_abort, no_obs);
 }
 
 /// Convenience overload with per-call counters (one-shot executions such as
@@ -223,6 +380,23 @@ ExecStatus exec_run(const ExecSchedule& s, RowFn&& row_fn,
                     AbortFlag* external_abort = nullptr) {
   ProgressCounters progress;
   return exec_run(s, std::forward<RowFn>(row_fn), progress, external_abort);
+}
+
+/// Instrumented execution: identical scheduling and results to exec_run
+/// (the row order, synchronization protocol, and hence bitwise output do
+/// not change), plus spin-wait telemetry and — when the trace session is
+/// enabled — per-thread per-level spans. The sweep's measurements land in
+/// `eo.stats(kind)`, the ExecStats aggregate next to the returned
+/// ExecStatus.
+template <class RowFn>
+ExecStatus exec_run_obs(const ExecSchedule& s, RowFn&& row_fn,
+                        ProgressCounters& progress, obs::ExecObs& eo,
+                        obs::Region kind, AbortFlag* external_abort = nullptr) {
+  obs::SweepObs& so = eo.begin_sweep(kind, s);
+  const ExecStatus status = detail::exec_run_impl(
+      s, std::forward<RowFn>(row_fn), progress, external_abort, so);
+  eo.end_sweep(kind, s);
+  return status;
 }
 
 }  // namespace javelin

@@ -104,6 +104,11 @@ void ilu_apply_panel(const Factorization& f, std::span<const value_t> r,
       throw AbortError("panel backward sweep aborted at permuted row " +
                        std::to_string(bst.row) + " (fault injection)");
     }
+  } else if (f.opts.exec_obs != nullptr) {
+    exec_run_obs(
+        runtime_bwd(f, ws.sched),
+        [&](index_t row, int) { backward_panel_row(row); }, ws.progress,
+        *f.opts.exec_obs, obs::Region::kBackward);
   } else {
     exec_run(
         runtime_bwd(f, ws.sched),
@@ -218,6 +223,11 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
   value_t* x = ws.x.data();
   const auto& perm = f.plan.perm;
   const CsrMatrix& lu = f.lu;
+  // Region-granularity span only: the panel fused region's sweeps reuse the
+  // fused.cpp synchronization structure but stay on the uninstrumented
+  // fast path (the forward/backward panel sweeps above and in
+  // ilu_apply_panel carry full per-level telemetry via exec_run_obs).
+  obs::TraceSpan fused_panel_span("fused_panel");
 
   const FusedRuntime rt = runtime_fused_schedule(f, a, fs, ws);
   const FaultHook& hook = f.opts.fault_hook;

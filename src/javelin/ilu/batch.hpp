@@ -30,6 +30,7 @@
 #include "javelin/ilu/factorization.hpp"
 #include "javelin/ilu/fused.hpp"
 #include "javelin/ilu/solve.hpp"
+#include "javelin/obs/trace.hpp"
 
 namespace javelin {
 
@@ -79,15 +80,19 @@ class WorkspacePool {
   class Lease {
    public:
     Lease() = default;
-    Lease(Lease&& o) noexcept : pool_(o.pool_), ws_(std::move(o.ws_)) {
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_), ws_(std::move(o.ws_)), trace_t0_(o.trace_t0_) {
       o.pool_ = nullptr;
+      o.trace_t0_ = 0;
     }
     Lease& operator=(Lease&& o) noexcept {
       if (this != &o) {
         release();
         pool_ = o.pool_;
         ws_ = std::move(o.ws_);
+        trace_t0_ = o.trace_t0_;
         o.pool_ = nullptr;
+        o.trace_t0_ = 0;
       }
       return *this;
     }
@@ -101,13 +106,28 @@ class WorkspacePool {
    private:
     friend class WorkspacePool;
     Lease(WorkspacePool* pool, std::unique_ptr<SolveWorkspace> ws)
-        : pool_(pool), ws_(std::move(ws)) {}
+        : pool_(pool), ws_(std::move(ws)) {
+      // Lease-lifetime tracing: acquire and release may run on different
+      // threads (streams hand leases around), so the span is emitted as one
+      // complete ('X') event at release instead of a B/E pair.
+      if (obs::TraceSession::instance().enabled()) trace_t0_ = obs::now_ns();
+    }
     void release() noexcept {
-      if (pool_ && ws_) pool_->put(std::move(ws_));
+      if (pool_ && ws_) {
+        if (trace_t0_ != 0) {
+          obs::TraceSession& ts = obs::TraceSession::instance();
+          if (ts.enabled()) {
+            ts.buffer().complete("lease", trace_t0_,
+                                 obs::now_ns() - trace_t0_);
+          }
+        }
+        pool_->put(std::move(ws_));
+      }
       pool_ = nullptr;
     }
     WorkspacePool* pool_ = nullptr;
     std::unique_ptr<SolveWorkspace> ws_;
+    std::int64_t trace_t0_ = 0;
   };
 
   WorkspacePool() = default;

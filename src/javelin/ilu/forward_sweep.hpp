@@ -56,6 +56,10 @@ ExecStatus forward_sweep(const Factorization& f, RhsFn rhs,
         },
         ws.progress);
     if (!st.ok()) return st;
+  } else if (f.opts.exec_obs != nullptr) {
+    exec_run_obs(
+        fwd, [&](index_t r, int) { forward_row(r); }, ws.progress,
+        *f.opts.exec_obs, obs::Region::kForward);
   } else {
     exec_run(
         fwd, [&](index_t r, int) { forward_row(r); }, ws.progress);
@@ -133,6 +137,10 @@ ExecStatus forward_sweep_panel(const Factorization& f, RhsFn rhs, value_t* x,
         },
         ws.progress);
     if (!st.ok()) return st;
+  } else if (f.opts.exec_obs != nullptr) {
+    exec_run_obs(
+        fwd, [&](index_t r, int) { forward_row(r, n); }, ws.progress,
+        *f.opts.exec_obs, obs::Region::kForward);
   } else {
     exec_run(
         fwd, [&](index_t r, int) { forward_row(r, n); }, ws.progress);

@@ -220,6 +220,15 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
   // its historical no-polling path.
   AbortFlag abort_flag;
   AbortFlag* const ab = hook ? &abort_flag : nullptr;
+  // Coarse observability for the fused region (thread-level counters and
+  // phase spans; no per-level attribution — the SpMV chunks have no level).
+  // Gated at compile time through the `obs_on` tag below, like exec_run's
+  // Obs parameter: the uninstrumented instantiation carries no clock reads
+  // and no counter stores. The fault hook takes precedence.
+  obs::SweepObs* so = nullptr;
+  if (f.opts.exec_obs != nullptr && !hook) {
+    so = &f.opts.exec_obs->begin_sweep(obs::Region::kFused, *s);
+  }
   bool fallback = false;
   {
     ProgressCounters& progress = ws.progress;
@@ -239,120 +248,190 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
     // scatter fused into the row loop and the SpMV epilogue interleaved on
     // the same counters — keep the synchronization structure (including the
     // abort protocol) in sync with exec_run when changing either.
+    const auto fused_thread = [&](const int tid, auto obs_on) {
+      constexpr bool kObs = decltype(obs_on)::value;
+      const int spin_budget = spin_budget_for(s->threads);
+      [[maybe_unused]] obs::TraceBuffer* buf = nullptr;
+      [[maybe_unused]] std::int64_t t_start = 0;
+      [[maybe_unused]] std::uint64_t sync_ns = 0;
+      if constexpr (kObs) {
+        if (so->tracing()) buf = &obs::TraceSession::instance().buffer();
+        t_start = obs::now_ns();
+        if (buf != nullptr) buf->begin_at("fused_bwd", t_start);
+      }
+      const auto backward_scatter = [&](index_t row) -> bool {
+        backward_row(lu, f.diag_pos, row, x);
+        z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+            x[static_cast<std::size_t>(row)];
+        if (hook && !hook(FaultSite::kBackwardRow, row)) {
+          ab->request(row);
+          return false;
+        }
+        return true;
+      };
+      bool live = true;
+      if (s->backend == ExecBackend::kBarrier) {
+        for (index_t l = 0; l < s->num_levels && live; ++l) {
+          if (ab != nullptr && ab->aborted()) {
+            live = false;
+            break;
+          }
+          const index_t base = s->level_ptr[static_cast<std::size_t>(l)];
+          const index_t lsz =
+              s->level_ptr[static_cast<std::size_t>(l) + 1] - base;
+          const Range rr = partition_range(lsz, s->threads, tid);
+          for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
+            if (!backward_scatter(
+                    s->serial_order[static_cast<std::size_t>(k)])) {
+              live = false;
+              break;
+            }
+          }
+          // A failed thread never arrives, so no peer passes this level:
+          // they drain out of the abort-aware barrier wait instead.
+          if (!live) break;
+          if constexpr (kObs) {
+            const std::int64_t b0 = obs::now_ns();
+            const bool turned = level_barrier.arrive_and_wait_counted(
+                spin_budget, ab, so->slot(tid));
+            const std::int64_t b1 = obs::now_ns();
+            so->slot(tid).barrier_ns += static_cast<std::uint64_t>(b1 - b0);
+            sync_ns += static_cast<std::uint64_t>(b1 - b0);
+            if (!turned) live = false;
+          } else {
+            if (!level_barrier.arrive_and_wait(spin_budget, ab)) live = false;
+          }
+        }
+        if constexpr (kObs) {
+          if (buf != nullptr) {
+            const std::int64_t mid = obs::now_ns();
+            buf->end_at("fused_bwd", mid);
+            buf->begin_at("fused_spmv", mid);
+          }
+        }
+        // The last level barrier ordered every z entry before this point;
+        // the SpMV chunks run unguarded. An aborted sweep skips them.
+        if (live && !(ab != nullptr && ab->aborted())) {
+          for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1];
+               ++c) {
+            for (index_t row =
+                     chunks->chunk_begin[static_cast<std::size_t>(c)];
+                 row < chunks->chunk_end[static_cast<std::size_t>(c)];
+                 ++row) {
+              t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+            }
+          }
+        }
+      } else {
+        index_t done = 0;
+        for (index_t i = s->thread_ptr[static_cast<std::size_t>(tid)];
+             i < s->thread_ptr[static_cast<std::size_t>(tid) + 1] && live;
+             ++i) {
+          if (ab != nullptr && ab->aborted()) {
+            live = false;
+            break;
+          }
+          [[maybe_unused]] std::int64_t w0 = 0;
+          if constexpr (kObs) w0 = obs::now_ns();
+          for (index_t w = s->wait_ptr[static_cast<std::size_t>(i)];
+               w < s->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+            const int pt =
+                static_cast<int>(s->wait_thread[static_cast<std::size_t>(w)]);
+            const index_t pc = s->wait_count[static_cast<std::size_t>(w)];
+            bool arrived;
+            if constexpr (kObs) {
+              arrived = progress.wait_for_counted(pt, pc, spin_budget, ab,
+                                                  so->slot(tid));
+            } else {
+              arrived = progress.wait_for(pt, pc, spin_budget, ab);
+            }
+            if (!arrived) {
+              live = false;
+              break;
+            }
+          }
+          if constexpr (kObs) {
+            const std::int64_t w1 = obs::now_ns();
+            so->slot(tid).wait_ns += static_cast<std::uint64_t>(w1 - w0);
+            sync_ns += static_cast<std::uint64_t>(w1 - w0);
+          }
+          if (!live) break;
+          for (index_t k = s->item_ptr[static_cast<std::size_t>(i)];
+               k < s->item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            if (!backward_scatter(s->rows[static_cast<std::size_t>(k)])) {
+              live = false;
+              break;
+            }
+          }
+          // A failed item is never published: chunk waits on it observe
+          // the flag and drain instead of spinning forever.
+          if (!live) break;
+          ++done;
+          progress.publish(tid, done);
+        }
+        if constexpr (kObs) {
+          if (buf != nullptr) {
+            const std::int64_t mid = obs::now_ns();
+            buf->end_at("fused_bwd", mid);
+            buf->begin_at("fused_spmv", mid);
+          }
+        }
+        for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+             c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1] &&
+             live;
+             ++c) {
+          [[maybe_unused]] std::int64_t w0 = 0;
+          if constexpr (kObs) w0 = obs::now_ns();
+          for (index_t w = chunks->wait_ptr[static_cast<std::size_t>(c)];
+               w < chunks->wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
+            const int pt = static_cast<int>(
+                chunks->wait_thread[static_cast<std::size_t>(w)]);
+            const index_t pc = chunks->wait_count[static_cast<std::size_t>(w)];
+            bool arrived;
+            if constexpr (kObs) {
+              arrived = progress.wait_for_counted(pt, pc, spin_budget, ab,
+                                                  so->slot(tid));
+            } else {
+              arrived = progress.wait_for(pt, pc, spin_budget, ab);
+            }
+            if (!arrived) {
+              live = false;
+              break;
+            }
+          }
+          if constexpr (kObs) {
+            const std::int64_t w1 = obs::now_ns();
+            so->slot(tid).wait_ns += static_cast<std::uint64_t>(w1 - w0);
+            sync_ns += static_cast<std::uint64_t>(w1 - w0);
+          }
+          if (!live) break;
+          for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
+               row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
+            t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+          }
+        }
+      }
+      if constexpr (kObs) {
+        const std::int64_t t_end = obs::now_ns();
+        if (buf != nullptr) buf->end_at("fused_spmv", t_end);
+        const std::uint64_t total = static_cast<std::uint64_t>(t_end - t_start);
+        so->slot(tid).busy_ns += total > sync_ns ? total - sync_ns : 0;
+      }
+    };
 #pragma omp parallel num_threads(s->threads)
     {
       // Uniform team-size verdict, no single+barrier round (see exec_run).
       if (team_size() < s->threads) {
         if (thread_id() == 0) fallback = true;  // sole writer
+      } else if (so != nullptr) {
+        fused_thread(thread_id(), std::true_type{});
       } else {
-        const int tid = thread_id();
-        const int spin_budget = spin_budget_for(s->threads);
-        const auto backward_scatter = [&](index_t row) -> bool {
-          backward_row(lu, f.diag_pos, row, x);
-          z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
-              x[static_cast<std::size_t>(row)];
-          if (hook && !hook(FaultSite::kBackwardRow, row)) {
-            ab->request(row);
-            return false;
-          }
-          return true;
-        };
-        bool live = true;
-        if (s->backend == ExecBackend::kBarrier) {
-          for (index_t l = 0; l < s->num_levels && live; ++l) {
-            if (ab != nullptr && ab->aborted()) {
-              live = false;
-              break;
-            }
-            const index_t base = s->level_ptr[static_cast<std::size_t>(l)];
-            const index_t lsz =
-                s->level_ptr[static_cast<std::size_t>(l) + 1] - base;
-            const Range rr = partition_range(lsz, s->threads, tid);
-            for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
-              if (!backward_scatter(
-                      s->serial_order[static_cast<std::size_t>(k)])) {
-                live = false;
-                break;
-              }
-            }
-            // A failed thread never arrives, so no peer passes this level:
-            // they drain out of the abort-aware barrier wait instead.
-            if (!live) break;
-            if (!level_barrier.arrive_and_wait(spin_budget, ab)) live = false;
-          }
-          // The last level barrier ordered every z entry before this point;
-          // the SpMV chunks run unguarded. An aborted sweep skips them.
-          if (live && !(ab != nullptr && ab->aborted())) {
-            for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
-                 c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1];
-                 ++c) {
-              for (index_t row =
-                       chunks->chunk_begin[static_cast<std::size_t>(c)];
-                   row < chunks->chunk_end[static_cast<std::size_t>(c)];
-                   ++row) {
-                t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
-              }
-            }
-          }
-        } else {
-          index_t done = 0;
-          for (index_t i = s->thread_ptr[static_cast<std::size_t>(tid)];
-               i < s->thread_ptr[static_cast<std::size_t>(tid) + 1] && live;
-               ++i) {
-            if (ab != nullptr && ab->aborted()) {
-              live = false;
-              break;
-            }
-            for (index_t w = s->wait_ptr[static_cast<std::size_t>(i)];
-                 w < s->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
-              if (!progress.wait_for(
-                      static_cast<int>(
-                          s->wait_thread[static_cast<std::size_t>(w)]),
-                      s->wait_count[static_cast<std::size_t>(w)], spin_budget,
-                      ab)) {
-                live = false;
-                break;
-              }
-            }
-            if (!live) break;
-            for (index_t k = s->item_ptr[static_cast<std::size_t>(i)];
-                 k < s->item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-              if (!backward_scatter(s->rows[static_cast<std::size_t>(k)])) {
-                live = false;
-                break;
-              }
-            }
-            // A failed item is never published: chunk waits on it observe
-            // the flag and drain instead of spinning forever.
-            if (!live) break;
-            ++done;
-            progress.publish(tid, done);
-          }
-          for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
-               c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1] &&
-               live;
-               ++c) {
-            for (index_t w = chunks->wait_ptr[static_cast<std::size_t>(c)];
-                 w < chunks->wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
-              if (!progress.wait_for(
-                      static_cast<int>(
-                          chunks->wait_thread[static_cast<std::size_t>(w)]),
-                      chunks->wait_count[static_cast<std::size_t>(w)],
-                      spin_budget, ab)) {
-                live = false;
-                break;
-              }
-            }
-            if (!live) break;
-            for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
-                 row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
-              t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
-            }
-          }
-        }
+        fused_thread(thread_id(), std::false_type{});
       }
     }
   }
+  if (so != nullptr) f.opts.exec_obs->end_sweep(obs::Region::kFused, *s);
   if (ab != nullptr && ab->aborted()) throw_fused_abort(ab->row());
   if (fallback) {
     const ExecStatus bst = serial_backward_spmv(f, a, x, z, t);

@@ -11,6 +11,10 @@
 
 namespace javelin {
 
+namespace obs {
+class ExecObs;  // obs/exec_obs.hpp
+}
+
 /// Where a fault-injection hook fires (see IluOptions::fault_hook).
 enum class FaultSite {
   kFactorRow,   ///< after a numeric-phase row factored (upper stage or corner)
@@ -108,6 +112,18 @@ struct IluOptions {
   /// parallel region, bounded spin-wait termination). Leave empty in
   /// production: the empty-hook paths carry no abort polling.
   FaultHook fault_hook;
+
+  // --- observability --------------------------------------------------------
+  /// Non-owning spin-wait telemetry sink. When set, the factor/sweep
+  /// regions run their instrumented template instantiations (per-thread
+  /// wait counters, per-(thread, level) busy/stall attribution, trace
+  /// spans when the trace session is enabled) and aggregate into the
+  /// sink's per-region ExecStats. Null — the default — keeps every hot
+  /// path on the zero-overhead uninstrumented instantiation. The fault
+  /// hook takes precedence: a region with both set runs the guarded
+  /// (hook) variant uninstrumented. The sink is not thread-safe across
+  /// concurrent solves; attach one per stream.
+  obs::ExecObs* exec_obs = nullptr;
 };
 
 }  // namespace javelin

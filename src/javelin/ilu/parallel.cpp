@@ -71,14 +71,22 @@ FactorStatus factor_corner(Factorization& f, WorkspacePool& pool) {
   // level-set cooperatively on the first failing row, and because no thread
   // passes a level whose barrier never completed, the reported row stays in
   // the FIRST failing level instead of a downstream inf/NaN cascade row.
-  const ExecStatus st = exec_run(f.corner, [&](index_t local, int t) -> bool {
+  const auto corner_row = [&](index_t local, int t) -> bool {
     const index_t r = plan.n_upper + local;
     RowWorkspace& ws = pool.get(t);
     mark_row(fv, r, ws);
     eliminate_window(fv, r, plan.n_upper, r, ws, params);
     if (!finish_row(fv, r, params)) return false;
     return !hook || hook(FaultSite::kFactorRow, r);
-  });
+  };
+  ExecStatus st;
+  if (f.opts.exec_obs != nullptr && !hook) {
+    ProgressCounters progress;
+    st = exec_run_obs(f.corner, corner_row, progress, *f.opts.exec_obs,
+                      obs::Region::kCorner);
+  } else {
+    st = exec_run(f.corner, corner_row);
+  }
   if (!st.ok()) {
     return {FactorOutcome::kBadPivot, plan.n_upper + st.row};
   }
@@ -334,11 +342,19 @@ FactorStatus ilu_factor_numeric_status(Factorization& f) {
   // Guarded row function: a failed pivot poisons the region, peers drain
   // out of their spin-waits, and the first failing row comes back in the
   // ExecStatus — no exception ever crosses the parallel region.
-  const ExecStatus st = exec_run(*fwd, [&](index_t r, int t) -> bool {
+  const auto numeric_row = [&](index_t r, int t) -> bool {
     RowWorkspace& ws = pool.get(t);
     if (!factor_row(fv, r, ws, params)) return false;
     return !hook || hook(FaultSite::kFactorRow, r);
-  });
+  };
+  ExecStatus st;
+  if (f.opts.exec_obs != nullptr && !hook) {
+    ProgressCounters progress;
+    st = exec_run_obs(*fwd, numeric_row, progress, *f.opts.exec_obs,
+                      obs::Region::kFactor);
+  } else {
+    st = exec_run(*fwd, numeric_row);
+  }
   if (!st.ok()) return {FactorOutcome::kBadPivot, st.row};
 
   // Lower stage. The ER/SR passes only divide by already-validated upper

@@ -44,6 +44,13 @@ ExecStatus trsv_backward(const Factorization& f, std::span<value_t> x,
         },
         ws.progress);
   }
+  if (f.opts.exec_obs != nullptr) {
+    exec_run_obs(
+        runtime_bwd(f, ws.sched),
+        [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); },
+        ws.progress, *f.opts.exec_obs, obs::Region::kBackward);
+    return {};
+  }
   exec_run(
       runtime_bwd(f, ws.sched),
       [&](index_t r, int) { backward_row(f.lu, f.diag_pos, r, x); },

@@ -1,0 +1,44 @@
+#include "javelin/obs/metrics.hpp"
+
+#include <ostream>
+
+namespace javelin::obs {
+
+int FixedHistogram::used_buckets() const noexcept {
+  for (int b = kBuckets - 1; b >= 0; --b) {
+    if (counts_[static_cast<std::size_t>(b)] != 0) return b + 1;
+  }
+  return 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& o) {
+  for (const auto& [name, v] : o.counters_) counters_[name] += v;
+  for (const auto& [name, h] : o.hists_) hists_[name].merge(h);
+}
+
+void MetricsRegistry::export_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hists_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"total\":" << h.total()
+        << ",\"sum\":" << h.sum() << ",\"buckets\":[";
+    const int used = h.used_buckets();
+    for (int b = 0; b < used; ++b) {
+      if (b != 0) out << ",";
+      out << h.count(b);
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+}  // namespace javelin::obs

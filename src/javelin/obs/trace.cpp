@@ -1,0 +1,107 @@
+#include "javelin/obs/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace javelin::obs {
+
+namespace {
+
+/// Thread-local cached pointer into the session's buffer registry. Buffers
+/// are never deallocated while the process lives (clear() only empties
+/// them), so the cached pointer stays valid for the thread's lifetime.
+thread_local TraceBuffer* tl_buffer = nullptr;
+
+/// JAVELIN_TRACE handling: enable at first instance() call, write at exit.
+std::string& env_trace_path() {
+  static std::string path;
+  return path;
+}
+
+void write_env_trace_at_exit() {
+  const std::string& path = env_trace_path();
+  if (!path.empty()) TraceSession::instance().write_file(path);
+}
+
+}  // namespace
+
+TraceSession& TraceSession::instance() {
+  static TraceSession* session = [] {
+    auto* s = new TraceSession();  // leaked: must outlive all thread exits
+    if (const char* p = std::getenv("JAVELIN_TRACE"); p != nullptr && *p) {
+      env_trace_path() = p;
+      s->enable();
+      std::atexit(write_env_trace_at_exit);
+    }
+    return s;
+  }();
+  return *session;
+}
+
+TraceBuffer& TraceSession::buffer() {
+  if (tl_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(std::make_unique<TraceBuffer>(tid));
+    tl_buffer = buffers_.back().get();
+  }
+  return *tl_buffer;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : buffers_) b->clear();
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b->events().size();
+  return n;
+}
+
+std::vector<std::pair<int, std::vector<TraceEvent>>> TraceSession::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, std::vector<TraceEvent>>> out;
+  out.reserve(buffers_.size());
+  for (const auto& b : buffers_) out.emplace_back(b->tid(), b->events());
+  return out;
+}
+
+void TraceSession::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // All events share pid 0; tid is the registration-order thread id. ts is
+  // microseconds with nanosecond precision kept in the fraction, as the
+  // trace_event format specifies.
+  for (const auto& b : buffers_) {
+    for (const TraceEvent& e : b->events()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << e.name << "\",\"cat\":\"javelin\",\"ph\":\""
+          << e.ph << "\",\"pid\":0,\"tid\":" << b->tid() << ",\"ts\":"
+          << e.ts_ns / 1000 << "." << (e.ts_ns % 1000 < 100 ? "0" : "")
+          << (e.ts_ns % 1000 < 10 ? "0" : "") << e.ts_ns % 1000;
+      if (e.ph == 'X') {
+        out << ",\"dur\":" << e.dur_ns / 1000 << "."
+            << (e.dur_ns % 1000 < 100 ? "0" : "")
+            << (e.dur_ns % 1000 < 10 ? "0" : "") << e.dur_ns % 1000;
+      }
+      if (e.arg != kInvalidIndex) out << ",\"args\":{\"level\":" << e.arg << "}";
+      out << "}";
+    }
+  }
+  out << "]}\n";
+}
+
+bool TraceSession::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_json(out);
+  return out.good();
+}
+
+}  // namespace javelin::obs

@@ -1,0 +1,164 @@
+// Execution tracing: per-thread span buffers exported as Chrome trace_event
+// JSON (chrome://tracing, Perfetto).
+//
+// Design constraints, in priority order:
+//   1. Zero overhead when off. Every emission site first checks a single
+//      relaxed atomic (TraceSession::enabled()); the disabled branch is a
+//      load + predictable-untaken jump, and the scheduled hot loops do not
+//      even reach that — they are instrumented only through the obs-gated
+//      template instantiations in exec/run.hpp (see obs/exec_obs.hpp).
+//   2. Lock-free on the recording path. Each thread appends to its own
+//      TraceBuffer (registered once under a mutex, then touched only by the
+//      owning thread), so tracing never introduces synchronization that
+//      would perturb the spin-wait behaviour it is meant to measure.
+//   3. Interned names. Spans carry `const char*` pointers to string
+//      literals, never owned strings — an event is 32 bytes and recording
+//      one is an append + a steady_clock read.
+//
+// Span phases follow the trace_event format: 'B'/'E' duration pairs emitted
+// by the owning thread (balanced, per-thread monotone timestamps), plus 'X'
+// complete events for spans whose begin and end may land on different
+// threads (WorkspacePool lease lifetimes).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "javelin/support/types.hpp"
+
+namespace javelin::obs {
+
+/// Monotonic nanosecond timestamp shared by every trace/stats clock read.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One recorded event. `name` must point at storage that outlives the
+/// session (string literals throughout Javelin). `arg` is an optional
+/// integer payload (level index, Krylov iteration, ...); kInvalidIndex
+/// means "no argument".
+struct TraceEvent {
+  const char* name;
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;  // 'X' events only
+  index_t arg;
+  char ph;  // 'B', 'E', or 'X'
+};
+
+/// Append-only per-thread event buffer. Only the owning thread writes;
+/// export happens when no region is recording (enforced by callers: bench
+/// and tests disable the session before writing).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(int tid) : tid_(tid) {}
+
+  int tid() const noexcept { return tid_; }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() noexcept { events_.clear(); }
+
+  void begin(const char* name, index_t arg = kInvalidIndex) {
+    events_.push_back({name, now_ns(), 0, arg, 'B'});
+  }
+  void end(const char* name) {
+    events_.push_back({name, now_ns(), 0, kInvalidIndex, 'E'});
+  }
+  /// Timestamped variants: reuse a clock value the caller already read so
+  /// instrumented loops pay one clock read per boundary, not two.
+  void begin_at(const char* name, std::int64_t ts_ns,
+                index_t arg = kInvalidIndex) {
+    events_.push_back({name, ts_ns, 0, arg, 'B'});
+  }
+  void end_at(const char* name, std::int64_t ts_ns) {
+    events_.push_back({name, ts_ns, 0, kInvalidIndex, 'E'});
+  }
+  /// Complete ('X') event with an explicit start and duration — the only
+  /// form safe for spans whose begin/end run on different threads.
+  void complete(const char* name, std::int64_t ts_ns, std::int64_t dur_ns,
+                index_t arg = kInvalidIndex) {
+    events_.push_back({name, ts_ns, dur_ns, arg, 'X'});
+  }
+
+ private:
+  const int tid_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-wide trace session. Threads register a thread-local buffer on
+/// first emission; buffers live until process exit (clear() empties them but
+/// never invalidates a registered thread's pointer), so a pooled OpenMP
+/// worker can keep its cached buffer across parallel regions.
+///
+/// `JAVELIN_TRACE=<path>` in the environment enables the session at startup
+/// and writes the Chrome JSON to <path> at process exit — tracing without
+/// touching the embedding application.
+class TraceSession {
+ public:
+  static TraceSession& instance();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// The calling thread's buffer (registered on first call).
+  TraceBuffer& buffer();
+
+  /// Drop all recorded events; registered buffers stay valid.
+  void clear();
+
+  /// Total recorded events across all threads (export-side, for tests).
+  std::size_t event_count() const;
+
+  /// Copy of every thread's events, ordered by tid (export-side, for tests;
+  /// call only while no thread is recording).
+  std::vector<std::pair<int, std::vector<TraceEvent>>> snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}; ts/dur in µs).
+  void write_chrome_json(std::ostream& out) const;
+
+  /// write_chrome_json to a file; returns false when the file cannot be
+  /// opened (never throws — used from the atexit hook).
+  bool write_file(const std::string& path) const;
+
+ private:
+  TraceSession() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ registration + export
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+/// RAII 'B'/'E' span on the calling thread. The constructor folds to a
+/// relaxed load + untaken branch when the session is off; `name` must be a
+/// literal (or otherwise outlive the session).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, index_t arg = kInvalidIndex) {
+    TraceSession& s = TraceSession::instance();
+    if (s.enabled()) {
+      buf_ = &s.buffer();
+      name_ = name;
+      buf_->begin(name, arg);
+    }
+  }
+  ~TraceSpan() {
+    if (buf_ != nullptr) buf_->end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceBuffer* buf_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+}  // namespace javelin::obs

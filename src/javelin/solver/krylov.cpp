@@ -3,6 +3,8 @@
 #include <cmath>
 #include <memory>
 
+#include "javelin/obs/trace.hpp"
+
 namespace javelin {
 
 namespace {
@@ -116,6 +118,7 @@ SolverResult pcg(const CsrMatrix& a, std::span<const value_t> b,
   detail::StagnationGuard stagnation{opts.stagnation_window};
 
   for (int it = 0; it < opts.max_iterations; ++it) {
+    obs::TraceSpan iter_span("pcg_iter", static_cast<index_t>(it));
     if (rz <= 0 || !std::isfinite(rz)) {
       // Breakdown: (r, M^{-1} r) <= 0 means the preconditioner is
       // indefinite (or exactly orthogonal) — for an SPD M this inner
@@ -206,6 +209,7 @@ SolverResult pcg_fused(const CsrMatrix& a, std::span<const value_t> b,
   SolverStop cause = SolverStop::kMaxIterations;
   detail::StagnationGuard stagnation{opts.stagnation_window};
   for (int it = 0; it < opts.max_iterations; ++it) {
+    obs::TraceSpan iter_span("pcg_iter", static_cast<index_t>(it));
     op.apply_spmv(r, z, t);
     const value_t rz = dot(r, z);
     if (rz <= 0 || !std::isfinite(rz)) {
@@ -339,6 +343,8 @@ SolverResult gmres_fused(const CsrMatrix& a, std::span<const value_t> b,
     int j = 0;
     for (; j < m && res.iterations < opts.max_iterations; ++j) {
       const std::size_t uj = static_cast<std::size_t>(j);
+      obs::TraceSpan iter_span("gmres_iter",
+                               static_cast<index_t>(res.iterations));
       // w = A M^{-1} v_j — ONE fused pass over factor and matrix.
       op.apply_spmv(v[uj], z, w);
       ++res.iterations;

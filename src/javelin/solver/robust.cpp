@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "javelin/obs/trace.hpp"
 #include "javelin/sparse/ops.hpp"
 #include "javelin/sparse/spmv.hpp"
 
@@ -141,6 +142,11 @@ SolveReport RobustSolver::solve(std::span<const value_t> b,
   // the best iterate. Returns true when the rung converged.
   const auto run_level = [&](PrecondLevel level, value_t shift,
                              const PrecondFn& precond) -> bool {
+    // Ladder-attempt span: one per rung actually handed to a Krylov driver,
+    // arg = position in the attempt trail (factor-breakdown rungs that never
+    // reach a solve are covered by the "robust_factor" spans instead).
+    obs::TraceSpan attempt_span(
+        "robust_attempt", static_cast<index_t>(report.attempts.size()));
     AttemptReport at;
     at.level = level;
     at.shift = shift;
@@ -198,14 +204,19 @@ SolveReport RobustSolver::solve(std::span<const value_t> b,
       // O(nnz) retry: rescatter A's values through the persistent map, add
       // α on the diagonal slots (the plan permutation is symmetric, so
       // diag_pos IS the diagonal of A + αI), re-run the numeric sweep.
-      scatter_values(*factor_, *a_);
-      if (shift != 0) {
-        std::span<value_t> vals = factor_->lu.values_mut();
-        for (index_t p : factor_->diag_pos) {
-          vals[static_cast<std::size_t>(p)] += shift;
+      FactorStatus fs;
+      {
+        obs::TraceSpan factor_span("robust_factor",
+                                   static_cast<index_t>(attempt));
+        scatter_values(*factor_, *a_);
+        if (shift != 0) {
+          std::span<value_t> vals = factor_->lu.values_mut();
+          for (index_t p : factor_->diag_pos) {
+            vals[static_cast<std::size_t>(p)] += shift;
+          }
         }
+        fs = ilu_factor_numeric_status(*factor_);
       }
-      const FactorStatus fs = ilu_factor_numeric_status(*factor_);
       if (!fs.ok()) {
         AttemptReport at;
         at.level = level;

@@ -81,14 +81,17 @@ class Backoff {
       : max_pauses_(max_pauses < 1 ? 1 : max_pauses) {}
 
   /// One miss: burn the current pause window (doubling it) or yield once
-  /// the window is exhausted.
-  void miss() noexcept {
+  /// the window is exhausted. Returns true when the miss escalated to a
+  /// yield — the pause→yield transition the stall telemetry counts; plain
+  /// callers ignore the return value at zero cost.
+  bool miss() noexcept {
     if (window_ <= max_pauses_) {
       for (int i = 0; i < window_; ++i) cpu_pause();
       window_ <<= 1;
-    } else {
-      std::this_thread::yield();
+      return false;
     }
+    std::this_thread::yield();
+    return true;
   }
 
  private:
@@ -189,6 +192,40 @@ class ProgressCounters {
     return true;
   }
 
+  /// wait_for with per-event accounting into `c` — any struct with the
+  /// counter fields of obs::WaitCounters (duck-typed template so this
+  /// header stays free of obs/ includes). Counts: one `waits` per call,
+  /// classified `waits_immediate` (first poll succeeded) or
+  /// `waits_stalled`; per miss one `spins`, plus `yields` when the backoff
+  /// escalated and `abort_polls` when a flag was polled. Time attribution
+  /// is the caller's job (it already brackets the wait-list loop with one
+  /// clock read on each side; re-reading the clock per counter poll here
+  /// would perturb the stall being measured).
+  ///
+  /// Identical wait semantics to wait_for — same loads, same backoff, same
+  /// abort protocol — so instrumented runs stay bitwise-equal in results.
+  template <class Counters>
+  bool wait_for_counted(int t, index_t count, int spin_budget,
+                        const AbortFlag* abort, Counters& c) const noexcept {
+    const auto& v = counters_[static_cast<std::size_t>(t)].value;
+    c.waits += 1;
+    if (v.load(std::memory_order_acquire) >= count) {
+      c.waits_immediate += 1;
+      return true;
+    }
+    c.waits_stalled += 1;
+    Backoff backoff(spin_budget);
+    while (v.load(std::memory_order_acquire) < count) {
+      if (abort != nullptr) {
+        c.abort_polls += 1;
+        if (abort->aborted()) return false;
+      }
+      c.spins += 1;
+      if (backoff.miss()) c.yields += 1;
+    }
+    return true;
+  }
+
  private:
   std::vector<PaddedCounter> counters_;
 };
@@ -242,6 +279,36 @@ class SpinBarrier {
         if (abort != nullptr && abort->aborted()) return false;
         backoff.miss();
       }
+    }
+    return true;
+  }
+
+  /// arrive_and_wait with per-event accounting into `c` (duck-typed like
+  /// ProgressCounters::wait_for_counted): one `barrier_waits` per crossing,
+  /// `spins`/`yields`/`abort_polls` per miss while spinning on the sense
+  /// flip (the last arriver spins zero times). Only barrier_* and the
+  /// shared miss counters are touched — the waits/waits_immediate/
+  /// waits_stalled identity of the P2P counters stays exact. Wait time is
+  /// bracketed by the caller. Synchronization behaviour is identical to
+  /// arrive_and_wait.
+  template <class Counters>
+  bool arrive_and_wait_counted(int spin_budget, const AbortFlag* abort,
+                               Counters& c) noexcept {
+    c.barrier_waits += 1;
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return true;
+    }
+    Backoff backoff(spin_budget);
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (abort != nullptr) {
+        c.abort_polls += 1;
+        if (abort->aborted()) return false;
+      }
+      c.spins += 1;
+      if (backoff.miss()) c.yields += 1;
     }
     return true;
   }

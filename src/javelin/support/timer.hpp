@@ -40,4 +40,33 @@ double min_time_seconds(Fn&& fn, int reps = 3, int warmup = 1) {
   return best;
 }
 
+/// Min + median wall time over `reps` measured repetitions (after `warmup`
+/// unmeasured ones). Min filters scheduler noise; median bounds how far the
+/// typical run sits from it — a large gap flags a noisy measurement, which
+/// single-number reporting silently hides.
+struct RepTimes {
+  double min_s = 0;
+  double median_s = 0;
+};
+
+template <class Fn>
+RepTimes rep_times_seconds(Fn&& fn, int reps = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  reps = std::max(1, reps);
+  std::vector<double> times(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    times[static_cast<std::size_t>(i)] = t.seconds();
+  }
+  std::sort(times.begin(), times.end());
+  RepTimes out;
+  out.min_s = times.front();
+  const std::size_t mid = times.size() / 2;
+  out.median_s = times.size() % 2 == 1
+                     ? times[mid]
+                     : 0.5 * (times[mid - 1] + times[mid]);
+  return out;
+}
+
 }  // namespace javelin

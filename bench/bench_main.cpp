@@ -15,7 +15,15 @@
 //   javelin_bench [--scale S] [--threads 1,2,4] [--repeats N] [--fill K]
 //                 [--tier small|large] [--streams 1,4,16,64]
 //                 [--matrices name1,name2] [--matrix file.mtx] [--out PATH]
-//                 [--trace trace.json]
+//                 [--trace trace.json] [--verify]
+//
+// --verify runs the static schedule verifier (verify/) on every factor's
+// forward and backward schedule at every thread count and emits its
+// happens-before coverage accounting into the JSON (schema v5): how many
+// cross-thread dependencies are enforced by a DIRECT spin-wait vs covered
+// TRANSITIVELY through waits the sparsifier kept — the paper's pruning,
+// quantified. Any verifier diagnostic fails the run (exit 1), same as a
+// parity failure.
 //
 // --repeats N (alias: --reps) runs each timed kernel N measured times after
 // one warmup-discard run and reports BOTH the minimum and the median — the
@@ -60,6 +68,7 @@
 #include "javelin/sparse/spmv.hpp"
 #include "javelin/support/parallel.hpp"
 #include "javelin/support/timer.hpp"
+#include "javelin/verify/verify.hpp"
 
 using namespace javelin;
 
@@ -81,6 +90,10 @@ struct BenchConfig {
   std::vector<std::string> matrix_files;  // Matrix-Market paths (--matrix)
   std::string out = "BENCH_javelin.json";
   std::string trace;  // Chrome trace output path; empty = tracing off
+  /// Run the static schedule verifier on every factor's fwd/bwd schedule and
+  /// emit its coverage statistics (direct vs transitive — the sparsification
+  /// quantified) into the JSON. A verification failure fails the run.
+  bool verify = false;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -134,6 +147,8 @@ BenchConfig parse_args(int argc, char** argv) {
       cfg.out = next();
     } else if (arg == "--trace") {
       cfg.trace = next();
+    } else if (arg == "--verify") {
+      cfg.verify = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -161,8 +176,12 @@ struct SchedStats {
 };
 
 SchedStats sched_stats(const ExecSchedule& s) {
-  SchedStats st{s.num_levels, s.deps_total, s.deps_kept, s.num_items(),
-                s.max_items_per_thread()};
+  SchedStats st;
+  st.levels = s.num_levels;
+  st.deps_total = s.deps_total;
+  st.waits = s.deps_kept;
+  st.items = s.num_items();
+  st.max_items_per_thread = s.max_items_per_thread();
   if (s.num_levels > 0 &&
       s.level_ptr.size() > static_cast<std::size_t>(s.num_levels)) {
     std::vector<index_t> rows(static_cast<std::size_t>(s.num_levels));
@@ -185,6 +204,16 @@ SchedStats sched_stats(const ExecSchedule& s) {
   return st;
 }
 
+/// Verifier result of one schedule at one thread count (--verify only).
+/// The direct/transitive split is the payoff statistic: transitive coverage
+/// is exactly the synchronization the paper's sparsification deleted without
+/// losing safety.
+struct VerifyBlock {
+  bool present = false;  ///< --verify ran on this schedule
+  bool ok = false;
+  verify::VerifyStats stats;
+};
+
 struct ThreadTimings {
   int threads = 0;
   double factor_s = 0;
@@ -204,6 +233,7 @@ struct ThreadTimings {
   // Full ILU-PCG race per backend (symmetric entries; -1 = not run):
   double ilu_pcg_ls_s = -1;
   SchedStats fwd, bwd;             // schedule shape at this thread count
+  VerifyBlock verify_fwd, verify_bwd;  // --verify results (absent otherwise)
   // Fused vs unfused Krylov inner loop: wall time per iteration of the same
   // restructured driver consuming ilu_apply_spmv (fused) vs apply-then-spmv
   // as two kernels (unfused). -1 = not run (pcg_* on symmetric entries only).
@@ -319,6 +349,10 @@ struct MatrixReport {
   /// Every throughput point bitwise equal to k independent scalar applies
   /// (AND of the per-point flags, for quick regression grepping).
   bool batched_parity = true;
+  /// Static schedule verification (--verify): -1 = not run, 1 = every
+  /// fwd/bwd schedule at every thread count verified clean, 0 = at least one
+  /// diagnostic. Part of the exit gate alongside the parity flags.
+  int schedule_verified = -1;
   /// Krylov/AMG races skipped (matrix at or above the trim threshold).
   bool trimmed = false;
   /// Process peak RSS after this matrix finished, from getrusage ru_maxrss.
@@ -483,6 +517,27 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     Factorization f = ilu_factor(a, opts);
     tt.fwd = sched_stats(f.fwd);
     tt.bwd = sched_stats(f.bwd);
+    if (cfg.verify) {
+      // Static happens-before analysis of the exact schedules this row
+      // times. Uncached deps closures: verification reads the factor's own
+      // sparsity, the same way retarget() does.
+      const auto check = [&](VerifyBlock& vb, const ExecSchedule& s,
+                             const DepsFn& deps, const char* dir) {
+        const verify::VerifyReport vr = verify::verify_schedule(s, deps);
+        vb.present = true;
+        vb.ok = vr.ok();
+        vb.stats = vr.stats;
+        if (!vb.ok) {
+          std::fprintf(stderr, "VERIFY FAILURE on %s %s t=%d: %s\n",
+                       rep.name.c_str(), dir, t, vr.summary().c_str());
+        }
+      };
+      check(tt.verify_fwd, f.fwd, lower_triangular_deps(f.lu), "fwd");
+      check(tt.verify_bwd, f.bwd, upper_triangular_deps(f.lu), "bwd");
+      const bool row_ok = tt.verify_fwd.ok && tt.verify_bwd.ok;
+      if (rep.schedule_verified < 0) rep.schedule_verified = 1;
+      if (!row_ok) rep.schedule_verified = 0;
+    }
     if (ti == 0) {
       rep.levels = f.plan.total_levels;
       rep.rows_moved = f.plan.rows_moved;
@@ -781,14 +836,18 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
 
 void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
   std::ofstream os(cfg.out);
-  // schema_version 4: + per-matrix stall_profile (spin-wait / barrier
+  // schema_version 5: + per-matrix schedule_verified (null when --verify is
+  // off) and, under --verify, verify_fwd/verify_bwd blocks in every timings
+  // row — the static analyzer's happens-before coverage accounting, whose
+  // direct/transitive split quantifies the wait sparsification.
+  // schema_version 4 added per-matrix stall_profile (spin-wait / barrier
   // telemetry of one instrumented pass per backend at the last thread
   // count), *_med_s median timings next to the min-of-reps numbers, and
-  // rows_per_level_{min,med,max,hist} in the sched_fwd/sched_bwd blocks.
-  // schema_version 3 added the robust_* breakdown-retry trail and
-  // robust_only; 2 added tier / streams headers, the throughput table,
-  // peak_rss_mb and trimmed. See README "Benchmark JSON schema".
-  os << "{\n  \"schema_version\": 4,\n  \"tier\": \"" << cfg.tier
+  // rows_per_level_{min,med,max,hist} in the sched_fwd/sched_bwd blocks;
+  // 3 added the robust_* breakdown-retry trail and robust_only; 2 added
+  // tier / streams headers, the throughput table, peak_rss_mb and trimmed.
+  // See README "Benchmark JSON schema".
+  os << "{\n  \"schema_version\": 5,\n  \"tier\": \"" << cfg.tier
      << "\",\n  \"suite_scale\": " << cfg.scale
      << ",\n  \"fill_level\": " << cfg.fill << ",\n  \"reps\": " << cfg.reps
      << ",\n  \"threads\": [";
@@ -813,6 +872,9 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
        << ", \"fused_parity\": " << (r.fused_parity ? "true" : "false")
        << ", \"backend_parity\": " << (r.backend_parity ? "true" : "false")
        << ", \"batched_parity\": " << (r.batched_parity ? "true" : "false")
+       << ", \"schedule_verified\": "
+       << (r.schedule_verified < 0 ? "null"
+                                   : (r.schedule_verified ? "true" : "false"))
        << ", \"trimmed\": " << (r.trimmed ? "true" : "false")
        << ", \"peak_rss_mb\": " << r.peak_rss_mb
        << ",\n     \"robust_only\": " << (r.robust_only ? "true" : "false")
@@ -839,6 +901,20 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
         os << (b ? ", " : "") << s.rows_per_level_hist[b];
       }
       os << "]}";
+    };
+    const auto verify_block = [&os](const char* key, const VerifyBlock& v) {
+      if (!v.present) return;  // key absent entirely when --verify is off
+      os << ", \"" << key << "\": {\"ok\": " << (v.ok ? "true" : "false")
+         << ", \"items\": " << v.stats.items
+         << ", \"levels\": " << v.stats.levels
+         << ", \"waits_total\": " << v.stats.waits_total
+         << ", \"deps_external\": " << v.stats.deps_external
+         << ", \"deps_same_thread\": " << v.stats.deps_same_thread
+         << ", \"deps_cross_thread\": " << v.stats.deps_cross_thread
+         << ", \"deps_covered_direct\": " << v.stats.deps_covered_direct
+         << ", \"deps_covered_transitive\": "
+         << v.stats.deps_covered_transitive
+         << ", \"deps_uncovered\": " << v.stats.deps_uncovered << "}";
     };
     for (std::size_t j = 0; j < r.timings.size(); ++j) {
       const ThreadTimings& t = r.timings[j];
@@ -867,6 +943,8 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
          << ", \"ilu_pcg_ls_s\": " << t.ilu_pcg_ls_s;
       sched("sched_fwd", t.fwd);
       sched("sched_bwd", t.bwd);
+      verify_block("verify_fwd", t.verify_fwd);
+      verify_block("verify_bwd", t.verify_bwd);
       os << "}" << (j + 1 < r.timings.size() ? "," : "") << "\n";
     }
     os << "     ],\n     \"throughput\": [\n";
@@ -1084,6 +1162,12 @@ int main(int argc, char** argv) {
                    "PARITY FAILURE on %s: backend=%d batched=%d fused=%d\n",
                    r.name.c_str(), r.backend_parity ? 1 : 0,
                    r.batched_parity ? 1 : 0, r.fused_parity ? 1 : 0);
+      parity_ok = false;
+    }
+    // --verify failures already printed row-precise diagnostics inline; the
+    // summary line here names the matrix for the CI log grep.
+    if (r.schedule_verified == 0) {
+      std::fprintf(stderr, "VERIFY FAILURE on %s\n", r.name.c_str());
       parity_ok = false;
     }
   }

@@ -10,9 +10,19 @@ Checks, in order:
   4. per (pid, tid), 'B'/'E' timestamps are monotone non-decreasing in
      recorded order ('X' events carry their own start and are exempt).
 
+With --bench BENCH.json (a schema >= 5 file from the same run, produced with
+both --trace and --verify), the dynamic telemetry is additionally
+cross-checked against the static analysis:
+  5. in every stall_profile, waits_immediate + waits_stalled == waits
+     (the spin-wait counters partition);
+  6. for every matrix whose stall_profile and verifier stats are both
+     present, the observed P2P wait count equals sweeps x waits_total as
+     predicted by the verifier — the executed synchronization is exactly
+     the statically proven wait set, no more and no less.
+
 Exit code 0 on success, 1 on any violation (CI gates on it).
 
-Usage: validate_trace.py trace.json
+Usage: validate_trace.py trace.json [--bench BENCH.json]
 """
 
 import collections
@@ -25,17 +35,85 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: validate_trace.py trace.json")
-    path = sys.argv[1]
-
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
 
+
+def check_bench(path):
+    """Static-vs-dynamic cross-check: verifier-predicted wait counts against
+    the stall-profile counters of the instrumented pass."""
+    doc = load_json(path)
+    if doc.get("schema_version", 0) < 5:
+        fail(f"{path}: --bench needs schema_version >= 5 (--verify runs)")
+    checked = 0
+    for r in doc.get("results", []):
+        stall = r.get("stall_profile")
+        if not stall:
+            continue
+        for backend in ("p2p", "barrier"):
+            for direction in ("fwd", "bwd"):
+                prof = stall[backend][direction]
+                if not prof:
+                    continue
+                w, wi, ws = (
+                    prof["waits"],
+                    prof["waits_immediate"],
+                    prof["waits_stalled"],
+                )
+                if wi + ws != w:
+                    fail(
+                        f"{r['matrix']} {backend} {direction}: "
+                        f"waits_immediate + waits_stalled != waits "
+                        f"({wi} + {ws} != {w})"
+                    )
+        # Verifier prediction: the instrumented P2P pass executes exactly
+        # sweeps x waits_total spin-waits (the statically proven wait set).
+        row = next(
+            (t for t in r["timings"] if t["threads"] == stall["threads"]),
+            None,
+        )
+        if row is None or "verify_fwd" not in row:
+            continue
+        for direction in ("fwd", "bwd"):
+            prof = stall["p2p"][direction]
+            if not prof:
+                continue
+            predicted = prof["sweeps"] * row[f"verify_{direction}"][
+                "waits_total"
+            ]
+            observed = prof["waits"]
+            if observed != predicted:
+                fail(
+                    f"{r['matrix']} p2p {direction}: observed {observed} "
+                    f"waits, verifier predicts {prof['sweeps']} sweeps x "
+                    f"{row[f'verify_{direction}']['waits_total']} = "
+                    f"{predicted}"
+                )
+            checked += 1
+    print(
+        f"validate_trace: bench OK: {checked} stall-profile regions match "
+        f"the verifier's predicted wait counts"
+    )
+
+
+def main():
+    argv = sys.argv[1:]
+    bench = None
+    if "--bench" in argv:
+        i = argv.index("--bench")
+        if i + 1 >= len(argv):
+            fail("--bench needs a path")
+        bench = argv[i + 1]
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        fail("usage: validate_trace.py trace.json [--bench BENCH.json]")
+    path = argv[0]
+
+    doc = load_json(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         fail("missing traceEvents array")
@@ -83,6 +161,8 @@ def main():
         f"validate_trace: OK: {len(events)} events on {len(tids)} threads "
         f"(B={phases['B']} E={phases['E']} X={phases['X']})"
     )
+    if bench is not None:
+        check_bench(bench)
 
 
 if __name__ == "__main__":

@@ -105,6 +105,17 @@ struct IluOptions {
   /// omp_set_num_threads below the plan always retargets, independent of
   /// this flag. Tests pin false to force planned-width scheduled execution.
   bool retarget_oversubscribed = true;
+  /// Statically verify every schedule this factorization builds or
+  /// retargets (verify/verify.hpp): partition integrity, level soundness,
+  /// happens-before coverage of all row dependencies, deadlock freedom. A
+  /// failed proof throws javelin::Error with row-precise diagnostics before
+  /// the schedule can execute. Defaults to on in debug builds (an O(nnz)
+  /// assertion); release builds opt in explicitly (bench --verify does).
+#ifdef NDEBUG
+  bool verify_schedules = false;
+#else
+  bool verify_schedules = true;
+#endif
 
   // --- fault injection (tests only) ---------------------------------------
   /// When set, consulted after every factor/sweep row; returning false

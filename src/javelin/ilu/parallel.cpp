@@ -15,6 +15,7 @@
 #include "javelin/ilu/row_kernel.hpp"
 #include "javelin/sparse/ops.hpp"
 #include "javelin/support/parallel.hpp"
+#include "javelin/verify/verify.hpp"
 
 namespace javelin {
 
@@ -336,6 +337,11 @@ FactorStatus ilu_factor_numeric_status(Factorization& f) {
       f.numeric_cache.bwd = ExecSchedule{};  // numeric phase never sweeps bwd
       f.numeric_cache.fused.reset();
       f.numeric_cache.threads = team;
+      if (f.opts.verify_schedules) {
+        verify::verify_schedule_or_throw(f.numeric_cache.fwd,
+                                         lower_triangular_deps(f.lu),
+                                         "numeric fwd retarget");
+      }
     }
     fwd = &f.numeric_cache.fwd;
   }
@@ -398,6 +404,12 @@ Factorization ilu_prepare(const CsrMatrix& a, const IluOptions& opts) {
                                        chunk);
   f.bwd = build_backward_schedule(f.lu, opts.exec_backend, f.plan.threads,
                                   chunk);
+  if (opts.verify_schedules) {
+    verify::verify_schedule_or_throw(f.fwd, lower_triangular_deps(f.lu),
+                                     "fwd");
+    verify::verify_schedule_or_throw(f.bwd, upper_triangular_deps(f.lu),
+                                     "bwd");
+  }
   if (f.plan.method == LowerMethod::kSegmentedRows) {
     f.sr = build_sr_tiling(f.lu, f.plan, opts.sr_tile_nnz);
   }
@@ -422,6 +434,11 @@ Factorization ilu_prepare(const CsrMatrix& a, const IluOptions& opts) {
                                    cls.level_ptr, cls.rows_by_level,
                                    lower_triangular_deps(corner_pat),
                                    f.plan.threads, chunk);
+    // Verified here, while corner_pat (the dependency pattern) is alive.
+    if (opts.verify_schedules) {
+      verify::verify_schedule_or_throw(
+          f.corner, lower_triangular_deps(corner_pat), "corner");
+    }
   }
 
   return f;

@@ -13,6 +13,7 @@
 #include "javelin/ilu/fused.hpp"
 #include "javelin/support/parallel.hpp"
 #include "javelin/support/spinwait.hpp"
+#include "javelin/verify/verify.hpp"
 
 namespace javelin {
 
@@ -57,6 +58,12 @@ void ensure_cache(const Factorization& f, ScheduleCache& cache, int team) {
   // must agree on the team, and the fused companion hangs off bwd.
   cache.fwd = retarget(f.fwd, lower_triangular_deps(f.lu), team);
   cache.bwd = retarget(f.bwd, upper_triangular_deps(f.lu), team);
+  if (f.opts.verify_schedules) {
+    verify::verify_schedule_or_throw(cache.fwd, lower_triangular_deps(f.lu),
+                                     "fwd retarget");
+    verify::verify_schedule_or_throw(cache.bwd, upper_triangular_deps(f.lu),
+                                     "bwd retarget");
+  }
   cache.fused.reset();
   cache.fused_matrix = nullptr;
   cache.fused_cols = nullptr;

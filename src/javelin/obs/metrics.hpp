@@ -31,7 +31,8 @@ class FixedHistogram {
   static constexpr int kBuckets = 33;
 
   static int bucket_of(std::uint64_t v) noexcept {
-    const int b = std::bit_width(v);  // 0 for v==0, floor(log2 v)+1 otherwise
+    // 0 for v==0, floor(log2 v)+1 otherwise; bit_width of a uint64 is <= 64.
+    const int b = static_cast<int>(std::bit_width(v));
     return b < kBuckets ? b : kBuckets - 1;
   }
 

@@ -1,0 +1,285 @@
+// Tests of the static schedule verifier (verify/):
+//
+//   * the verifier is CLEAN on every suite + degenerate matrix, forward and
+//     backward schedules, under both backend tags, and on retargeted
+//     schedules for every T in {1..16} (verify_retarget also proves the
+//     retarget bitwise-equivalent to a fresh build) — far beyond the thread
+//     counts bitwise-parity tests can afford to execute;
+//   * coverage accounting is exact: waits_total == deps_kept, the
+//     direct/transitive split sums to deps_total, nothing uncovered;
+//   * the mutation self-test: every seeded single-defect mutation
+//     (MutateSchedule) is flagged, with the expected defect class and a
+//     row-precise diagnostic naming the mutated row or a real broken
+//     dependency edge — the analyzer is itself tested adversarially;
+//   * the wired assertion layers (IluOptions::verify_schedules) pass
+//     through ilu_prepare / solve-time retarget / refactor-time retarget
+//     without throwing.
+#include <string>
+#include <vector>
+
+#include "javelin/gen/generators.hpp"
+#include "javelin/ilu/solve.hpp"
+#include "javelin/support/parallel.hpp"
+#include "javelin/verify/mutate.hpp"
+#include "javelin/verify/verify.hpp"
+#include "test_util.hpp"
+
+using namespace javelin;
+using verify::DiagKind;
+using verify::Mutation;
+using verify::MutationResult;
+using verify::ScheduleDiagnostic;
+using verify::VerifyReport;
+
+namespace {
+
+gen::SuiteOptions small_scale() {
+  gen::SuiteOptions so;
+  so.scale = 0.02;
+  return so;
+}
+
+bool has_kind(const VerifyReport& rep, DiagKind k) {
+  for (const ScheduleDiagnostic& d : rep.diagnostics) {
+    if (d.kind == k) return true;
+  }
+  return false;
+}
+
+/// True when `producer` really is a dependency of `consumer` — the
+/// row-precision bar for uncovered-edge diagnostics: the report must name an
+/// actual broken RAW edge, not a nearby row.
+bool is_real_dep(const DepsFn& deps, index_t consumer, index_t producer) {
+  bool found = false;
+  deps(consumer, [&](index_t d) { found = found || d == producer; });
+  return found;
+}
+
+/// Every schedule of every suite/degenerate matrix must verify clean —
+/// planned team, both backend tags, and retargets across T in {1..16}.
+void check_matrix_clean(const std::string& name) {
+  const gen::SuiteEntry e = gen::make_suite_matrix(name, small_scale());
+  ThreadCountGuard guard(4);
+  IluOptions opts;
+  opts.num_threads = 4;
+  opts.retarget_oversubscribed = false;
+  opts.verify_schedules = false;  // this test drives the verifier itself
+  const Factorization f = ilu_prepare(e.matrix, opts);
+  const DepsFn low = lower_triangular_deps(f.lu);
+  const DepsFn up = upper_triangular_deps(f.lu);
+
+  const VerifyReport fwd_rep = verify::verify_schedule(f.fwd, low);
+  const VerifyReport bwd_rep = verify::verify_schedule(f.bwd, up);
+  CHECK_MSG(fwd_rep.ok(), "%s fwd: %s", name.c_str(),
+            fwd_rep.summary().c_str());
+  CHECK_MSG(bwd_rep.ok(), "%s bwd: %s", name.c_str(),
+            bwd_rep.summary().c_str());
+
+  // Exact coverage accounting against the builder's own statistics.
+  CHECK_MSG(fwd_rep.stats.waits_total == f.fwd.deps_kept, "%s fwd waits",
+            name.c_str());
+  CHECK_MSG(fwd_rep.stats.deps_cross_thread == f.fwd.deps_total,
+            "%s fwd deps_total", name.c_str());
+  CHECK_MSG(fwd_rep.stats.deps_covered_direct +
+                    fwd_rep.stats.deps_covered_transitive ==
+                fwd_rep.stats.deps_cross_thread,
+            "%s fwd coverage split", name.c_str());
+  CHECK_MSG(fwd_rep.stats.deps_uncovered == 0, "%s fwd uncovered",
+            name.c_str());
+
+  // The analysis is backend-complete (level AND wait phases always run),
+  // so flipping the tag — what set_exec_backend does in place — must not
+  // change the verdict.
+  ExecSchedule flipped = f.fwd;
+  flipped.backend = ExecBackend::kBarrier;
+  const VerifyReport flip_rep = verify::verify_schedule(flipped, low);
+  CHECK_MSG(flip_rep.ok(), "%s fwd barrier tag: %s", name.c_str(),
+            flip_rep.summary().c_str());
+
+  for (int T = 1; T <= 16; ++T) {
+    const VerifyReport rf = verify::verify_retarget(f.fwd, low, T);
+    const VerifyReport rb = verify::verify_retarget(f.bwd, up, T);
+    CHECK_MSG(rf.ok(), "%s fwd retarget T=%d: %s", name.c_str(), T,
+              rf.summary().c_str());
+    CHECK_MSG(rb.ok(), "%s bwd retarget T=%d: %s", name.c_str(), T,
+              rb.summary().c_str());
+  }
+}
+
+/// One seeded mutation -> flagged, right class, row-precise.
+void check_one_mutation(const std::string& name, const char* dir,
+                        const ExecSchedule& clean, const DepsFn& deps,
+                        Mutation m, std::uint64_t seed) {
+  ExecSchedule mut = clean;
+  const MutationResult res = verify::apply_mutation(mut, m, deps, seed);
+  CHECK_MSG(res.applied, "%s %s %s seed=%llu: %s", name.c_str(), dir,
+            verify::mutation_name(m),
+            static_cast<unsigned long long>(seed), res.detail.c_str());
+  if (!res.applied) return;
+
+  const VerifyReport rep = verify::verify_schedule(mut, deps);
+  CHECK_MSG(!rep.ok(), "%s %s %s seed=%llu survived verification",
+            name.c_str(), dir, verify::mutation_name(m),
+            static_cast<unsigned long long>(seed));
+  if (rep.ok()) return;
+
+  bool precise = false;
+  switch (m) {
+    case Mutation::kDropWait:
+    case Mutation::kWeakenWait:
+    case Mutation::kRedirectWait:
+      // The report must name an actual broken cross-thread edge (or a
+      // deadlocked item when the redirect closed a cycle).
+      for (const ScheduleDiagnostic& d : rep.diagnostics) {
+        if (d.kind == DiagKind::kUncoveredDependency) {
+          precise = precise || (d.consumer_thread != d.producer_thread &&
+                                is_real_dep(deps, d.consumer_row,
+                                            d.producer_row));
+        } else if (d.kind == DiagKind::kDeadlock) {
+          precise = true;
+        }
+      }
+      break;
+    case Mutation::kMoveRowAcrossLevel:
+      // The moved row's own dependency became same-level: the report must
+      // carry a level diagnostic naming exactly that row.
+      for (const ScheduleDiagnostic& d : rep.diagnostics) {
+        if ((d.kind == DiagKind::kLevelDependency ||
+             d.kind == DiagKind::kLevelOrder) &&
+            d.consumer_row == res.consumer_row) {
+          precise = true;
+        }
+      }
+      break;
+    case Mutation::kDuplicateRow:
+      // Either the doubled row or the lost row must be named.
+      for (const ScheduleDiagnostic& d : rep.diagnostics) {
+        if (d.kind == DiagKind::kPartition &&
+            (d.consumer_row == res.consumer_row ||
+             d.consumer_row == res.producer_row)) {
+          precise = true;
+        }
+      }
+      break;
+    case Mutation::kCorruptWaitCount:
+      for (const ScheduleDiagnostic& d : rep.diagnostics) {
+        if (d.kind == DiagKind::kWaitMetadata &&
+            d.consumer_row == res.consumer_row) {
+          precise = true;
+        }
+      }
+      break;
+  }
+  CHECK_MSG(precise,
+            "%s %s %s seed=%llu flagged without a row-precise diagnostic: %s",
+            name.c_str(), dir, verify::mutation_name(m),
+            static_cast<unsigned long long>(seed), rep.summary().c_str());
+}
+
+/// Mutation sweep over a schedule pair built wide enough that every
+/// mutation class has valid sites (cross-thread waits, counts > 1, a third
+/// thread for redirects, multiple levels).
+void check_mutations(const std::string& name, int threads, index_t chunk) {
+  const gen::SuiteEntry e = gen::make_suite_matrix(name, small_scale());
+  ThreadCountGuard guard(threads);
+  IluOptions opts;
+  opts.num_threads = threads;
+  opts.retarget_oversubscribed = false;
+  opts.verify_schedules = false;
+  opts.p2p_chunk_rows = chunk;
+  const Factorization f = ilu_prepare(e.matrix, opts);
+  const DepsFn low = lower_triangular_deps(f.lu);
+  const DepsFn up = upper_triangular_deps(f.lu);
+
+  // Preconditions that make every mutation class applicable here; if a
+  // generator change ever voids one, this points at the setup, not the
+  // verifier.
+  CHECK_MSG(f.fwd.deps_kept > 0, "%s fwd has no waits to mutate",
+            name.c_str());
+  CHECK_MSG(f.fwd.num_levels > 1, "%s fwd has a single level", name.c_str());
+
+  for (const Mutation m : verify::kAllMutations) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      check_one_mutation(name, "fwd", f.fwd, low, m, seed);
+    }
+    check_one_mutation(name, "bwd", f.bwd, up, m, 7);
+  }
+}
+
+/// The wired assertion layers: prepare-time, solve-time retarget, and
+/// refactor-time retarget all verify their schedules and must pass clean on
+/// a healthy factorization (reaching the end without a throw IS the check).
+void check_wired_layers() {
+  const gen::SuiteEntry e = gen::make_suite_matrix("wang3", small_scale());
+  Factorization f = [&] {
+    ThreadCountGuard guard(4);
+    IluOptions opts;
+    opts.num_threads = 4;
+    opts.retarget_oversubscribed = false;
+    opts.verify_schedules = true;
+    opts.parallel_corner = true;  // corner schedule verified in ilu_prepare
+    return ilu_factor(e.matrix, opts);
+  }();
+  const auto r = javelin::test::random_vector(f.n(), 0xC0FFEE);
+  std::vector<value_t> z(r.size());
+  {
+    // Team below the plan: runtime_fwd/bwd retarget through ensure_cache,
+    // which re-verifies under verify_schedules.
+    ThreadCountGuard guard(2);
+    SolveWorkspace ws;
+    ilu_apply(f, r, z, ws);
+    // Numeric-phase retarget cache, also wired.
+    ilu_refactor(f, e.matrix);
+  }
+  CHECK(f.n() > 0);
+}
+
+/// Hand-built degenerate inputs the structural phase must reject or accept.
+void check_structural_edges() {
+  // Default-constructed: schedules nothing, verifies clean.
+  const ExecSchedule empty;
+  const DepsFn none = [](index_t, const std::function<void(index_t)>&) {};
+  CHECK(verify::verify_schedule(empty, none).ok());
+
+  // Truncated wait arrays must be malformed, not UB.
+  const gen::SuiteEntry e = gen::make_suite_matrix("fem_filter", small_scale());
+  ThreadCountGuard guard(4);
+  IluOptions opts;
+  opts.num_threads = 4;
+  opts.retarget_oversubscribed = false;
+  opts.verify_schedules = false;
+  const Factorization f = ilu_prepare(e.matrix, opts);
+  const DepsFn low = lower_triangular_deps(f.lu);
+  ExecSchedule bad = f.fwd;
+  if (!bad.wait_thread.empty()) {
+    bad.wait_thread.pop_back();
+    const VerifyReport rep = verify::verify_schedule(bad, low);
+    CHECK_MSG(has_kind(rep, DiagKind::kMalformed), "truncated wait arrays: %s",
+              rep.summary().c_str());
+  }
+  // Stale stats are reported as such, not silently accepted.
+  ExecSchedule stale = f.fwd;
+  stale.deps_kept += 1;
+  CHECK(has_kind(verify::verify_schedule(stale, low),
+                 DiagKind::kStatsMismatch));
+}
+
+}  // namespace
+
+int main() {
+  for (const std::string& name : gen::suite_names()) {
+    check_matrix_clean(name);
+  }
+  for (const std::string& name : gen::degenerate_names()) {
+    check_matrix_clean(name);
+  }
+  // Structurally different generators for the adversarial sweep — a grid
+  // stencil, an irregular FEM pattern, a power-grid block structure — at
+  // team sizes that give the redirect mutation a third thread to point at.
+  check_mutations("apache2", 4, 4);
+  check_mutations("thermal2", 4, 2);
+  check_mutations("TSOPF_RS_b300_c2", 8, 4);
+  check_wired_layers();
+  check_structural_edges();
+  return javelin::test::finish("test_verify");
+}

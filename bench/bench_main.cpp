@@ -68,6 +68,7 @@
 #include "javelin/sparse/spmv.hpp"
 #include "javelin/support/parallel.hpp"
 #include "javelin/support/timer.hpp"
+#include "javelin/tune/tune.hpp"
 #include "javelin/verify/verify.hpp"
 
 using namespace javelin;
@@ -172,6 +173,12 @@ struct SchedStats {
   index_t rows_per_level_min = 0;
   index_t rows_per_level_med = 0;
   index_t rows_per_level_max = 0;
+  double rows_per_level_mean = 0;
+  // Fraction of rows living in levels narrower than the hybrid tuner's
+  // small-level threshold (max(16, 4 × team)) — the share of the sweep the
+  // per-level regime dispatch would pull off the P2P protocol.
+  double small_level_row_frac = 0;
+  index_t small_level_rows = 0;  // the threshold the fraction used
   std::vector<std::uint64_t> rows_per_level_hist;  // log2 buckets, trimmed
 };
 
@@ -182,6 +189,10 @@ SchedStats sched_stats(const ExecSchedule& s) {
   st.waits = s.deps_kept;
   st.items = s.num_items();
   st.max_items_per_thread = s.max_items_per_thread();
+  st.rows_per_level_mean = s.mean_rows_per_level();
+  st.small_level_rows =
+      std::max<index_t>(16, static_cast<index_t>(4 * std::max(1, s.threads)));
+  st.small_level_row_frac = s.small_level_row_frac(st.small_level_rows);
   if (s.num_levels > 0 &&
       s.level_ptr.size() > static_cast<std::size_t>(s.num_levels)) {
     std::vector<index_t> rows(static_cast<std::size_t>(s.num_levels));
@@ -325,6 +336,36 @@ struct StallProfile {
   RegionProfile ls_fwd, ls_bwd;
 };
 
+/// Factor-time autotuner decision on one matrix (schema-v6 `autotune`
+/// block + the console `auto` row): the wall-clock candidate grid, the
+/// pinned winner re-measured on the real solve path, and the bitwise parity
+/// of the tuned sweep against the serial reference.
+struct AutotuneBlock {
+  bool present = false;
+  /// --verify runs: candidates ranked by the deterministic cost model (the
+  /// grid's `seconds` are dimensionless scores and ratio_vs_best_fixed is
+  /// withheld), so the decision replays bit-for-bit.
+  bool deterministic = false;
+  int threads = 0;  ///< widest sweep team — the grid's cap and OMP setting
+  std::string chosen;
+  int chosen_threads = 0;
+  bool chosen_hybrid = false;
+  index_t chosen_chunk_rows = 0;
+  bool hybrid_applied = false;
+  double auto_solve_s = 0;   ///< pinned winner, re-measured (min of reps)
+  double serial_s = 0;       ///< the grid's serial candidate
+  std::string best_fixed;    ///< cheapest non-hybrid candidate (incl. serial)
+  double best_fixed_s = 0;
+  double ratio_vs_serial = -1;      ///< auto_solve_s / serial_s
+  double ratio_vs_best_fixed = -1;  ///< auto_solve_s / best_fixed_s
+  bool parity = true;  ///< tuned ilu_apply bitwise == serial reference
+  struct Candidate {
+    std::string name;
+    double seconds = 0;
+  };
+  std::vector<Candidate> candidates;  ///< grid in evaluation order
+};
+
 struct MatrixReport {
   std::string name;
   index_t n = 0;
@@ -375,6 +416,7 @@ struct MatrixReport {
   std::vector<ThreadTimings> timings;
   std::vector<ThroughputRow> throughput;
   StallProfile stall;  ///< instrumented pass at the last thread count
+  AutotuneBlock autotune;  ///< tuner decision at the widest thread count
 };
 
 double peak_rss_mb_now() {
@@ -465,6 +507,84 @@ void collect_stall_profile(MatrixReport& rep, const Factorization& f,
     }
     obs::TraceSession::instance().disable();
   }
+}
+
+/// Factor-time autotuning at the widest sweep team: fresh factor, wall-clock
+/// grid over backend × team × blocking granule × hybrid regime mix (the
+/// serial candidate is the grid's anchor), winner pinned into the factor and
+/// re-measured on the real solve path. The tuned sweep is bitwise-checked
+/// against the serial reference — `autotune_parity` joins the exit gate, so
+/// a policy that changed results fails the run like any other parity break.
+void run_autotune(MatrixReport& rep, const CsrMatrix& a,
+                  const BenchConfig& cfg) {
+  const int t_max =
+      *std::max_element(cfg.threads.begin(), cfg.threads.end());
+  ThreadCountGuard guard(t_max);
+  IluOptions opts;
+  opts.num_threads = t_max;
+  opts.fill_level = cfg.fill;
+  opts.retarget_oversubscribed = false;
+  // --verify switches the tuner to deterministic-policy mode: the injected
+  // cost model ranks candidates from the schedule shape alone (no clocks),
+  // so the decision — and therefore the whole JSON — is reproducible, and
+  // every candidate's schedules pass the static verifier as they are tried.
+  opts.verify_schedules = cfg.verify;
+  Factorization f = ilu_factor(a, opts);
+
+  tune::TuneOptions topt;
+  topt.reps = cfg.reps;
+  topt.max_threads = t_max;
+  topt.chunk_candidates = {16, 64};
+  if (cfg.verify) topt.cost_model = tune::deterministic_cost_model();
+  const tune::TuneReport tr = tune::autotune(f, topt);
+
+  AutotuneBlock& ab = rep.autotune;
+  ab.present = true;
+  ab.deterministic = cfg.verify;
+  ab.threads = t_max;
+  ab.chosen = tr.chosen.name();
+  ab.chosen_threads = tr.chosen.threads;
+  ab.chosen_hybrid = tr.chosen.hybrid;
+  ab.chosen_chunk_rows = tr.chosen.chunk_rows;
+  ab.hybrid_applied = tr.hybrid_applied;
+  ab.serial_s = tr.serial_seconds;
+  for (const tune::TuneMeasurement& m : tr.measured) {
+    ab.candidates.push_back({m.cand.name(), m.seconds});
+    if (!m.cand.hybrid &&
+        (ab.best_fixed.empty() || m.seconds < ab.best_fixed_s)) {
+      ab.best_fixed = m.cand.name();
+      ab.best_fixed_s = m.seconds;
+    }
+  }
+
+  const auto r = random_vector(a.rows(), 0xA07);
+  std::vector<value_t> z(r.size()), z_ref(r.size());
+  SolveWorkspace ws;
+  ilu_apply(f, r, z, ws);  // warm the tuned policy's caches
+  ab.auto_solve_s =
+      min_time_seconds([&] { ilu_apply(f, r, z, ws); }, cfg.reps, 1);
+  ilu_apply_serial(f, r, z_ref, ws);
+  ab.parity = z == z_ref;
+  // In deterministic-policy mode the grid numbers are model scores, not
+  // seconds — re-measure the serial wall time for a real ratio, and leave
+  // the best-fixed ratio to wall-clock runs (the CI autotune gate).
+  if (ab.deterministic) {
+    ab.serial_s = min_time_seconds(
+        [&] { ilu_apply_serial(f, r, z_ref, ws); }, cfg.reps, 1);
+  }
+  ab.ratio_vs_serial = ab.serial_s > 0 ? ab.auto_solve_s / ab.serial_s : -1;
+  if (!ab.deterministic) {
+    ab.ratio_vs_best_fixed =
+        ab.best_fixed_s > 0 ? ab.auto_solve_s / ab.best_fixed_s : -1;
+  }
+
+  std::printf(
+      "  %-18s auto  chose %s  solve %.5fs  serial %.5fs (%.2fx)  best fixed "
+      "%s %s%s\n",
+      rep.name.c_str(), ab.chosen.c_str(), ab.auto_solve_s, ab.serial_s,
+      ab.ratio_vs_serial, ab.best_fixed.c_str(),
+      ab.hybrid_applied ? " [hybrid]" : "",
+      ab.parity ? "" : " PARITY-FAIL");
 }
 
 /// Degenerate fixtures run ONLY the robust pipeline: the timing sweep
@@ -825,6 +945,9 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
     }
     std::printf("\n");
   }
+  // Factor-time autotuner decision (schema-v6 `autotune` block) — after the
+  // fixed-policy sweep so the grid measurements can't perturb it.
+  run_autotune(rep, a, cfg);
   // Robust-pipeline statistics (skipped at production scale: one more full
   // Krylov solve). On this healthy suite the expectation is a one-attempt,
   // zero-shift trail — anything else is a regression worth seeing in the
@@ -836,10 +959,16 @@ MatrixReport bench_matrix(const gen::SuiteEntry& e, const BenchConfig& cfg) {
 
 void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
   std::ofstream os(cfg.out);
-  // schema_version 5: + per-matrix schedule_verified (null when --verify is
-  // off) and, under --verify, verify_fwd/verify_bwd blocks in every timings
-  // row — the static analyzer's happens-before coverage accounting, whose
-  // direct/transitive split quantifies the wait sparsification.
+  // schema_version 6: + per-matrix `autotune` block (the factor-time tuner's
+  // candidate grid, the pinned winner re-measured as auto_solve_s, its ratios
+  // against the serial and best-fixed candidates, and the bitwise
+  // autotune_parity flag that joins the exit gate), regime-coverage
+  // deps_covered_regime in the --verify blocks, and
+  // rows_per_level_mean / small_level_row{s,_frac} in sched_fwd/sched_bwd.
+  // schema_version 5 added per-matrix schedule_verified (null when --verify
+  // is off) and, under --verify, verify_fwd/verify_bwd blocks in every
+  // timings row — the static analyzer's happens-before coverage accounting,
+  // whose direct/transitive split quantifies the wait sparsification.
   // schema_version 4 added per-matrix stall_profile (spin-wait / barrier
   // telemetry of one instrumented pass per backend at the last thread
   // count), *_med_s median timings next to the min-of-reps numbers, and
@@ -847,7 +976,7 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
   // 3 added the robust_* breakdown-retry trail and robust_only; 2 added
   // tier / streams headers, the throughput table, peak_rss_mb and trimmed.
   // See README "Benchmark JSON schema".
-  os << "{\n  \"schema_version\": 5,\n  \"tier\": \"" << cfg.tier
+  os << "{\n  \"schema_version\": 6,\n  \"tier\": \"" << cfg.tier
      << "\",\n  \"suite_scale\": " << cfg.scale
      << ",\n  \"fill_level\": " << cfg.fill << ",\n  \"reps\": " << cfg.reps
      << ",\n  \"threads\": [";
@@ -896,6 +1025,9 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
          << ", \"rows_per_level_min\": " << s.rows_per_level_min
          << ", \"rows_per_level_med\": " << s.rows_per_level_med
          << ", \"rows_per_level_max\": " << s.rows_per_level_max
+         << ", \"rows_per_level_mean\": " << s.rows_per_level_mean
+         << ", \"small_level_rows\": " << s.small_level_rows
+         << ", \"small_level_row_frac\": " << s.small_level_row_frac
          << ", \"rows_per_level_hist\": [";
       for (std::size_t b = 0; b < s.rows_per_level_hist.size(); ++b) {
         os << (b ? ", " : "") << s.rows_per_level_hist[b];
@@ -912,6 +1044,7 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
          << ", \"deps_same_thread\": " << v.stats.deps_same_thread
          << ", \"deps_cross_thread\": " << v.stats.deps_cross_thread
          << ", \"deps_covered_direct\": " << v.stats.deps_covered_direct
+         << ", \"deps_covered_regime\": " << v.stats.deps_covered_regime
          << ", \"deps_covered_transitive\": "
          << v.stats.deps_covered_transitive
          << ", \"deps_uncovered\": " << v.stats.deps_uncovered << "}";
@@ -1002,6 +1135,31 @@ void write_json(const BenchConfig& cfg, const std::vector<MatrixReport>& reps) {
       os << ", ";
       region("bwd", r.stall.ls_bwd);
       os << "}}";
+    }
+    os << ",\n     \"autotune\": ";
+    if (!r.autotune.present) {
+      os << "null";
+    } else {
+      const AutotuneBlock& ab = r.autotune;
+      os << "{\"threads\": " << ab.threads << ", \"mode\": \""
+         << (ab.deterministic ? "cost_model" : "wallclock")
+         << "\", \"chosen\": \"" << ab.chosen
+         << "\", \"chosen_threads\": " << ab.chosen_threads
+         << ", \"chosen_hybrid\": " << (ab.chosen_hybrid ? "true" : "false")
+         << ", \"chosen_chunk_rows\": " << ab.chosen_chunk_rows
+         << ", \"hybrid_applied\": " << (ab.hybrid_applied ? "true" : "false")
+         << ", \"auto_solve_s\": " << ab.auto_solve_s
+         << ", \"serial_s\": " << ab.serial_s << ", \"best_fixed\": \""
+         << ab.best_fixed << "\", \"best_fixed_s\": " << ab.best_fixed_s
+         << ", \"ratio_vs_serial\": " << ab.ratio_vs_serial
+         << ", \"ratio_vs_best_fixed\": " << ab.ratio_vs_best_fixed
+         << ", \"autotune_parity\": " << (ab.parity ? "true" : "false")
+         << ",\n      \"candidates\": [";
+      for (std::size_t c = 0; c < ab.candidates.size(); ++c) {
+        os << (c ? ", " : "") << "{\"name\": \"" << ab.candidates[c].name
+           << "\", \"seconds\": " << ab.candidates[c].seconds << "}";
+      }
+      os << "]}";
     }
     os << "}" << (i + 1 < reps.size() ? "," : "") << "\n";
   }
@@ -1157,11 +1315,14 @@ int main(int argc, char** argv) {
   bool parity_ok = true;
   for (const MatrixReport& r : reports) {
     if (r.robust_only) continue;
-    if (!r.backend_parity || !r.batched_parity || !r.fused_parity) {
-      std::fprintf(stderr,
-                   "PARITY FAILURE on %s: backend=%d batched=%d fused=%d\n",
-                   r.name.c_str(), r.backend_parity ? 1 : 0,
-                   r.batched_parity ? 1 : 0, r.fused_parity ? 1 : 0);
+    if (!r.backend_parity || !r.batched_parity || !r.fused_parity ||
+        (r.autotune.present && !r.autotune.parity)) {
+      std::fprintf(
+          stderr,
+          "PARITY FAILURE on %s: backend=%d batched=%d fused=%d autotune=%d\n",
+          r.name.c_str(), r.backend_parity ? 1 : 0, r.batched_parity ? 1 : 0,
+          r.fused_parity ? 1 : 0,
+          r.autotune.present && !r.autotune.parity ? 0 : 1);
       parity_ok = false;
     }
     // --verify failures already printed row-precise diagnostics inline; the

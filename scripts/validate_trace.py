@@ -18,7 +18,14 @@ cross-checked against the static analysis:
   6. for every matrix whose stall_profile and verifier stats are both
      present, the observed P2P wait count equals sweeps x waits_total as
      predicted by the verifier — the executed synchronization is exactly
-     the statically proven wait set, no more and no less.
+     the statically proven wait set, no more and no less;
+  7. (schema >= 6) verifier coverage splits exactly: direct + regime +
+     transitive == cross-thread deps, nothing uncovered — regime coverage
+     is how hybrid (per-level backend) schedules account for the waits
+     their serial/barrier segments made redundant;
+  8. (schema >= 6) every autotune block is self-consistent: parity true,
+     the chosen candidate is in the measured grid, and the serial anchor
+     candidate is present.
 
 Exit code 0 on success, 1 on any violation (CI gates on it).
 
@@ -47,10 +54,50 @@ def check_bench(path):
     """Static-vs-dynamic cross-check: verifier-predicted wait counts against
     the stall-profile counters of the instrumented pass."""
     doc = load_json(path)
-    if doc.get("schema_version", 0) < 5:
+    schema = doc.get("schema_version", 0)
+    if schema < 5:
         fail(f"{path}: --bench needs schema_version >= 5 (--verify runs)")
     checked = 0
+    autotuned = 0
     for r in doc.get("results", []):
+        if schema >= 6:
+            # Verifier coverage identity, hybrid-aware: every cross-thread
+            # dependency is covered directly, by a regime sync point, or
+            # transitively — and the split is exact.
+            for row in r.get("timings", []):
+                for direction in ("fwd", "bwd"):
+                    vb = row.get(f"verify_{direction}")
+                    if not vb:
+                        continue
+                    covered = (
+                        vb["deps_covered_direct"]
+                        + vb.get("deps_covered_regime", 0)
+                        + vb["deps_covered_transitive"]
+                    )
+                    if covered != vb["deps_cross_thread"]:
+                        fail(
+                            f"{r['matrix']} {direction} t={row['threads']}: "
+                            f"coverage split {covered} != cross-thread "
+                            f"{vb['deps_cross_thread']}"
+                        )
+                    if vb["deps_uncovered"] != 0:
+                        fail(
+                            f"{r['matrix']} {direction} t={row['threads']}: "
+                            f"{vb['deps_uncovered']} uncovered deps"
+                        )
+            ab = r.get("autotune")
+            if ab:
+                names = [c["name"] for c in ab.get("candidates", [])]
+                if not ab["autotune_parity"]:
+                    fail(f"{r['matrix']}: autotune_parity is false")
+                if ab["chosen"] not in names:
+                    fail(
+                        f"{r['matrix']}: chosen '{ab['chosen']}' not in the "
+                        f"measured grid"
+                    )
+                if "serial" not in names:
+                    fail(f"{r['matrix']}: autotune grid has no serial anchor")
+                autotuned += 1
         stall = r.get("stall_profile")
         if not stall:
             continue
@@ -96,7 +143,8 @@ def check_bench(path):
             checked += 1
     print(
         f"validate_trace: bench OK: {checked} stall-profile regions match "
-        f"the verifier's predicted wait counts"
+        f"the verifier's predicted wait counts, {autotuned} autotune blocks "
+        f"consistent"
     )
 
 

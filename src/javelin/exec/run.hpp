@@ -183,7 +183,7 @@ ExecStatus exec_run_impl(const ExecSchedule& s, RowFn&& row_fn,
     }
   }
 
-  if (s.backend == ExecBackend::kP2P) {
+  if (s.backend == ExecBackend::kP2P || s.hybrid()) {
     if (progress.num_threads() < s.threads) {
       progress.reset(s.threads);
     } else {
@@ -199,9 +199,198 @@ ExecStatus exec_run_impl(const ExecSchedule& s, RowFn&& row_fn,
     // (Uniformity also keeps the level barriers below team-collective.)
     if (team_size() < s.threads) {
       if (thread_id() == 0) fallback = true;  // sole writer
+    } else if (s.hybrid()) {
+      // Hybrid per-level regimes (tune/): contiguous same-tag level
+      // SEGMENTS, a team barrier at every segment entry, the regime's own
+      // protocol inside. Each thread advances its item cursor and publishes
+      // its progress counter across NON-P2P levels too, so P2P consumers in
+      // a later segment never spin on work a barrier or serial level
+      // already finished (their cross-segment waits were pruned to the
+      // regime floor by apply_level_tags — every surviving wait's producer
+      // is in the consumer's own P2P segment).
+      const int t = thread_id();
+      const int spin_budget =
+          s.spin_budget > 0 ? s.spin_budget : spin_budget_for(s.threads);
+      const index_t chunk = s.chunk_rows > 0 ? s.chunk_rows : 1;
+      // Items of this thread in level l (the builder's layout re-derived,
+      // exactly as the barrier branch re-derives its row slices).
+      const auto items_here = [&](index_t l) {
+        const index_t lsz = s.level_ptr[static_cast<std::size_t>(l) + 1] -
+                            s.level_ptr[static_cast<std::size_t>(l)];
+        const index_t r = partition_range(lsz, s.threads, t).size();
+        return (r + chunk - 1) / chunk;
+      };
+      index_t item = s.thread_ptr[static_cast<std::size_t>(t)];
+      index_t done = 0;
+      bool live = true;
+      index_t l = 0;
+      while (l < s.num_levels && live) {
+        const LevelRegime reg = s.level_regime(l);
+        index_t seg_end = l + 1;
+        while (seg_end < s.num_levels && s.level_regime(seg_end) == reg) {
+          ++seg_end;
+        }
+        // Segment-entry barrier: orders this segment after everything
+        // before it and makes the pre-segment counter publishes visible.
+        // An aborted peer never arrives, so nothing past a poisoned
+        // segment boundary ever runs.
+        std::int64_t b0 = 0;
+        if constexpr (Obs::kOn) b0 = obs::now_ns();
+        bool turned;
+        if constexpr (Obs::kOn) {
+          turned = barrier.arrive_and_wait_counted(spin_budget, abort,
+                                                   obs.slot(t));
+        } else {
+          turned = barrier.arrive_and_wait(spin_budget, abort);
+        }
+        if constexpr (Obs::kOn) {
+          const std::int64_t b1 = obs::now_ns();
+          obs.slot(t).barrier_ns += static_cast<std::uint64_t>(b1 - b0);
+          obs.add_level_wait(t, l, static_cast<std::uint64_t>(b1 - b0));
+        }
+        if (!turned) break;
+        if (watch && abort->aborted()) break;
+        if (reg == LevelRegime::kSerial) {
+          // Thread 0 runs the whole segment's rows in serial order; the
+          // other threads skip straight to the bookkeeping. Everyone
+          // advances its own cursor past its items of these levels and
+          // publishes — single-writer counters preserved. An abort inside
+          // the segment is caught at the next segment-entry barrier (the
+          // publishes below cannot be consumed before it).
+          if (t == 0) {
+            std::int64_t t0 = 0;
+            if constexpr (Obs::kOn) t0 = obs::now_ns();
+            for (index_t k = s.level_ptr[static_cast<std::size_t>(l)];
+                 k < s.level_ptr[static_cast<std::size_t>(seg_end)]; ++k) {
+              const index_t row = s.serial_order[static_cast<std::size_t>(k)];
+              if (!exec_row(row_fn, row, t)) {
+                if (abort != nullptr) abort->request(row);
+                live = false;
+                break;
+              }
+            }
+            if constexpr (Obs::kOn) {
+              const std::int64_t t1 = obs::now_ns();
+              obs.slot(t).busy_ns += static_cast<std::uint64_t>(t1 - t0);
+              obs.add_level_busy(t, l, static_cast<std::uint64_t>(t1 - t0));
+            }
+          }
+          for (index_t lv = l; lv < seg_end; ++lv) {
+            const index_t ni = items_here(lv);
+            item += ni;
+            done += ni;
+          }
+          if (live) progress.publish(t, done);
+        } else if (reg == LevelRegime::kBarrier) {
+          for (index_t lv = l; lv < seg_end; ++lv) {
+            const index_t base = s.level_ptr[static_cast<std::size_t>(lv)];
+            const index_t lsz =
+                s.level_ptr[static_cast<std::size_t>(lv) + 1] - base;
+            const Range rr = partition_range(lsz, s.threads, t);
+            std::int64_t t0 = 0;
+            if constexpr (Obs::kOn) t0 = obs::now_ns();
+            for (index_t k = base + rr.begin; k < base + rr.end; ++k) {
+              const index_t row = s.serial_order[static_cast<std::size_t>(k)];
+              if (!exec_row(row_fn, row, t)) {
+                if (abort != nullptr) abort->request(row);
+                live = false;
+                break;
+              }
+            }
+            if constexpr (Obs::kOn) {
+              const std::int64_t t1 = obs::now_ns();
+              obs.slot(t).busy_ns += static_cast<std::uint64_t>(t1 - t0);
+              obs.add_level_busy(t, lv, static_cast<std::uint64_t>(t1 - t0));
+            }
+            if (!live) break;
+            const index_t ni = items_here(lv);
+            item += ni;
+            done += ni;
+            progress.publish(t, done);
+            // Per-level barrier (except before a segment boundary, where
+            // the next segment's entry barrier takes its place).
+            if (lv + 1 < seg_end) {
+              bool lvl_turned;
+              if constexpr (Obs::kOn) {
+                const std::int64_t lb0 = obs::now_ns();
+                lvl_turned = barrier.arrive_and_wait_counted(spin_budget,
+                                                             abort, obs.slot(t));
+                const std::int64_t lb1 = obs::now_ns();
+                obs.slot(t).barrier_ns += static_cast<std::uint64_t>(lb1 - lb0);
+                obs.add_level_wait(t, lv, static_cast<std::uint64_t>(lb1 - lb0));
+              } else {
+                lvl_turned = barrier.arrive_and_wait(spin_budget, abort);
+              }
+              if (!lvl_turned) {
+                live = false;
+                break;
+              }
+              if (watch && abort->aborted()) {
+                live = false;
+                break;
+              }
+            }
+          }
+        } else {  // LevelRegime::kP2P
+          index_t n_items = 0;
+          for (index_t lv = l; lv < seg_end; ++lv) n_items += items_here(lv);
+          for (index_t e = 0; e < n_items; ++e, ++item) {
+            if (watch && abort->aborted()) {
+              live = false;
+              break;
+            }
+            std::int64_t w0 = 0;
+            if constexpr (Obs::kOn) w0 = obs::now_ns();
+            for (index_t w = s.wait_ptr[static_cast<std::size_t>(item)];
+                 w < s.wait_ptr[static_cast<std::size_t>(item) + 1]; ++w) {
+              const int pt = static_cast<int>(
+                  s.wait_thread[static_cast<std::size_t>(w)]);
+              const index_t pc = s.wait_count[static_cast<std::size_t>(w)];
+              bool arrived;
+              if constexpr (Obs::kOn) {
+                arrived = progress.wait_for_counted(pt, pc, spin_budget,
+                                                    abort, obs.slot(t));
+              } else {
+                arrived = progress.wait_for(pt, pc, spin_budget, abort);
+              }
+              if (!arrived) {
+                live = false;
+                break;
+              }
+            }
+            if constexpr (Obs::kOn) {
+              const std::int64_t w1 = obs::now_ns();
+              obs.slot(t).wait_ns += static_cast<std::uint64_t>(w1 - w0);
+              obs.add_level_wait(t, l, static_cast<std::uint64_t>(w1 - w0));
+            }
+            if (!live) break;
+            std::int64_t r0 = 0;
+            if constexpr (Obs::kOn) r0 = obs::now_ns();
+            for (index_t k = s.item_ptr[static_cast<std::size_t>(item)];
+                 k < s.item_ptr[static_cast<std::size_t>(item) + 1]; ++k) {
+              const index_t row = s.rows[static_cast<std::size_t>(k)];
+              if (!exec_row(row_fn, row, t)) {
+                if (abort != nullptr) abort->request(row);
+                live = false;
+                break;
+              }
+            }
+            if constexpr (Obs::kOn) {
+              const std::int64_t r1 = obs::now_ns();
+              obs.slot(t).busy_ns += static_cast<std::uint64_t>(r1 - r0);
+              obs.add_level_busy(t, l, static_cast<std::uint64_t>(r1 - r0));
+            }
+            if (!live) break;
+            ++done;
+            progress.publish(t, done);
+          }
+        }
+        l = seg_end;
+      }
     } else if (s.backend == ExecBackend::kBarrier) {
       const int t = thread_id();
-      const int spin_budget = spin_budget_for(s.threads);
+      const int spin_budget =
+          s.spin_budget > 0 ? s.spin_budget : spin_budget_for(s.threads);
       [[maybe_unused]] obs::TraceBuffer* buf = nullptr;
       if constexpr (Obs::kOn) {
         if (obs.tracing()) buf = &obs::TraceSession::instance().buffer();
@@ -253,7 +442,8 @@ ExecStatus exec_run_impl(const ExecSchedule& s, RowFn&& row_fn,
       }
     } else {
       const int t = thread_id();
-      const int spin_budget = spin_budget_for(s.threads);
+      const int spin_budget =
+          s.spin_budget > 0 ? s.spin_budget : spin_budget_for(s.threads);
       const index_t lo = s.thread_ptr[static_cast<std::size_t>(t)];
       const index_t hi = s.thread_ptr[static_cast<std::size_t>(t) + 1];
       [[maybe_unused]] obs::TraceBuffer* buf = nullptr;

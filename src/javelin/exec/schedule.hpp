@@ -34,6 +34,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -71,6 +72,22 @@ struct ExecSchedule {
   std::vector<index_t> level_ptr;
   std::vector<index_t> serial_order;
 
+  /// Per-level synchronization regimes (LevelRegime bytes, one per level).
+  /// EMPTY means uniform execution under `backend` — the only state the
+  /// non-hybrid executor branches ever see. Non-empty (set through
+  /// apply_level_tags, which also prunes the waits each regime's sync
+  /// already covers) routes exec_run through the hybrid branch: contiguous
+  /// same-tag level SEGMENTS, a team barrier at every segment entry, the
+  /// regime's own protocol inside.
+  std::vector<std::uint8_t> level_tags;
+
+  /// Spin-wait escalation budget: pause-loop iterations before a wait
+  /// (counter spin, level barrier) starts yielding the CPU. 0 derives the
+  /// default from the team (spin_budget_for); ilu/ plumbs
+  /// IluOptions::spin_max_pauses through here so the tuner can measure —
+  /// and tests force — the pause→yield ladder.
+  int spin_budget = 0;
+
   // --- statistics ----------------------------------------------------------
   index_t deps_total = 0;  ///< cross-thread dependencies before pruning
   index_t deps_kept = 0;   ///< spin-waits actually stored
@@ -79,6 +96,36 @@ struct ExecSchedule {
   index_t num_rows() const noexcept { return static_cast<index_t>(rows.size()); }
   index_t num_items() const noexcept {
     return item_ptr.empty() ? 0 : static_cast<index_t>(item_ptr.size()) - 1;
+  }
+  bool hybrid() const noexcept { return !level_tags.empty(); }
+  LevelRegime level_regime(index_t l) const noexcept {
+    return level_tags.empty()
+               ? (backend == ExecBackend::kBarrier ? LevelRegime::kBarrier
+                                                   : LevelRegime::kP2P)
+               : static_cast<LevelRegime>(
+                     level_tags[static_cast<std::size_t>(l)]);
+  }
+
+  // --- level-shape statistics (tuner pruning heuristic + bench signal) -----
+  /// Mean rows per level (0 for an empty schedule).
+  double mean_rows_per_level() const noexcept {
+    return num_levels > 0
+               ? static_cast<double>(serial_order.size()) /
+                     static_cast<double>(num_levels)
+               : 0.0;
+  }
+  /// Fraction of scheduled rows living in levels with fewer than
+  /// `threshold` rows — the rows whose level is too narrow to feed a team.
+  double small_level_row_frac(index_t threshold) const noexcept {
+    if (serial_order.empty() || level_ptr.empty()) return 0.0;
+    index_t small = 0;
+    for (index_t l = 0; l < num_levels; ++l) {
+      const index_t lsz = level_ptr[static_cast<std::size_t>(l) + 1] -
+                          level_ptr[static_cast<std::size_t>(l)];
+      if (lsz < threshold) small += lsz;
+    }
+    return static_cast<double>(small) /
+           static_cast<double>(serial_order.size());
   }
   index_t max_items_per_thread() const noexcept {
     if (thread_ptr.empty()) return 0;  // default-constructed schedule
@@ -151,6 +198,20 @@ ExecSchedule build_exec_schedule(ExecBackend backend, index_t n_total,
 /// bitwise-identical — every field — to a fresh build at `threads`
 /// (asserted by test_exec).
 ExecSchedule retarget(const ExecSchedule& s, const DepsFn& deps, int threads);
+
+/// Install per-level regime tags on `s` (size must equal s.num_levels; values
+/// are LevelRegime bytes) and prune every stored wait the tagged regimes'
+/// synchronization already covers. The hybrid executor barriers at each
+/// same-tag segment entry (and after every kBarrier level), so a consumer in
+/// level lc is guaranteed every item in levels below its regime FLOOR —
+/// lc itself for kBarrier/kSerial levels, the segment's first level for kP2P
+/// — has been published before it starts; waits whose producer count is
+/// below that floor are deleted (deps_kept drops, deps_total is untouched).
+/// After pruning, every surviving wait's producer lives in the consumer's
+/// own P2P segment. An all-kP2P tag vector is normalized to "no tags"
+/// (uniform schedule). Deterministic: retarget() re-applies the tags after
+/// rebuilding, field-for-field identical to tagging a fresh build.
+void apply_level_tags(ExecSchedule& s, std::span<const std::uint8_t> tags);
 
 /// Dependency enumerators of the triangular-factor schedules, exposed so
 /// consumers can retarget without re-deriving them. The returned closures

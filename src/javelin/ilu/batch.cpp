@@ -301,6 +301,28 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
     });
   };
 
+  if (s->hybrid()) {
+    // Hybrid (per-level regime) backward schedule: run the panel backward
+    // sweep through exec_run's hybrid branch (scatter fused into the row
+    // fn), then the panel SpMV in a second region — the panel mirror of the
+    // scalar hybrid path in fused.cpp. The hook-free variant keeps the
+    // void-returning row fn so its waits stay on the no-polling path.
+    if (hook) {
+      const ExecStatus bst = exec_run(
+          *s,
+          [&](index_t row, int) -> bool { return backward_scatter_row(row); },
+          ws.progress, ab);
+      if (!bst.ok()) throw_fused_panel_abort(bst.row);
+    } else {
+      exec_run(
+          *s, [&](index_t row, int) { (void)backward_scatter_row(row); },
+          ws.progress);
+    }
+#pragma omp parallel for schedule(static) num_threads(rt.team)
+    for (index_t row = 0; row < n; ++row) spmv_panel_row(row);
+    return;
+  }
+
   bool fallback = false;
   {
     ProgressCounters& progress = ws.progress;
@@ -321,7 +343,8 @@ void ilu_apply_spmv_panel(const Factorization& f, const CsrMatrix& a,
         if (thread_id() == 0) fallback = true;  // sole writer
       } else {
         const int tid = thread_id();
-        const int spin_budget = spin_budget_for(s->threads);
+        const int spin_budget =
+            s->spin_budget > 0 ? s->spin_budget : spin_budget_for(s->threads);
         bool live = true;
         if (s->backend == ExecBackend::kBarrier) {
           for (index_t l = 0; l < s->num_levels && live; ++l) {

@@ -17,7 +17,8 @@ using detail::spmv_row;
 
 FusedApplySpmv build_fused_apply_spmv(const ExecSchedule& bwd,
                                       const TwoStagePlan& plan,
-                                      const CsrMatrix& a, index_t chunk_rows) {
+                                      const CsrMatrix& a, index_t chunk_rows,
+                                      const ExecSchedule* fwd) {
   JAVELIN_CHECK(a.rows() == plan.n && a.cols() == plan.n,
                 "fused apply+spmv requires A with the factor's dimension");
   FusedApplySpmv fs;
@@ -83,12 +84,51 @@ FusedApplySpmv build_fused_apply_spmv(const ExecSchedule& bwd,
       },
       fs.wait_ptr, fs.wait_thread, fs.wait_count, fs.deps_total,
       fs.deps_kept);
+
+  // Backward-on-forward waits for the single-region pass: backward item i
+  // may run once the forward items producing its rows' forward values have
+  // published (on the forward counter bank). Only meaningful when the
+  // forward schedule covers every row (no lower stage) and shares the team.
+  if (fwd != nullptr && fwd->threads == T && plan.num_lower_rows() == 0) {
+    std::vector<index_t> fowner, fitem;
+    fwd->producer_positions(fowner, fitem);
+    build_sparsified_waits(
+        T, bwd.thread_ptr,
+        // Program order: before its first backward item, thread t already
+        // performed every wait of its OWN forward items.
+        [fwd](int t, std::span<index_t> last_wait) {
+          for (index_t i = fwd->thread_ptr[static_cast<std::size_t>(t)];
+               i < fwd->thread_ptr[static_cast<std::size_t>(t) + 1]; ++i) {
+            for (index_t w = fwd->wait_ptr[static_cast<std::size_t>(i)];
+                 w < fwd->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+              index_t& lw = last_wait[static_cast<std::size_t>(
+                  fwd->wait_thread[static_cast<std::size_t>(w)])];
+              lw = std::max(lw, fwd->wait_count[static_cast<std::size_t>(w)]);
+            }
+          }
+        },
+        [&](int t, index_t i,
+            const std::function<void(index_t, index_t)>& yield) {
+          for (index_t k = bwd.item_ptr[static_cast<std::size_t>(i)];
+               k < bwd.item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            const index_t r = bwd.rows[static_cast<std::size_t>(k)];
+            const index_t ot = fowner[static_cast<std::size_t>(r)];
+            JAVELIN_CHECK(ot != kInvalidIndex,
+                          "forward schedule does not cover every row");
+            if (ot == static_cast<index_t>(t)) continue;
+            yield(ot, fitem[static_cast<std::size_t>(r)] + 1);
+          }
+        },
+        fs.fwd_wait_ptr, fs.fwd_wait_thread, fs.fwd_wait_count,
+        fs.fwd_deps_total, fs.fwd_deps_kept);
+    fs.fwd_synced = true;
+  }
   return fs;
 }
 
 FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
                                       const CsrMatrix& a, index_t chunk_rows) {
-  return build_fused_apply_spmv(f.bwd, f.plan, a, chunk_rows);
+  return build_fused_apply_spmv(f.bwd, f.plan, a, chunk_rows, &f.fwd);
 }
 
 namespace {
@@ -158,7 +198,7 @@ FusedRuntime runtime_fused_schedule(const Factorization& f, const CsrMatrix& a,
   }
   rt.team = team;
   if (team != f.bwd.threads) {
-    (void)runtime_bwd(f, ws.sched);  // fills ws.sched for `team`
+    (void)runtime_bwd(f, ws.sched);  // fills ws.sched (fwd AND bwd) for `team`
     // The chunk wait lists depend on A's column structure, so the cache is
     // keyed on the matrix as well as the team — address, nnz and column
     // array together, so a recycled allocation cannot alias a different
@@ -166,15 +206,20 @@ FusedRuntime runtime_fused_schedule(const Factorization& f, const CsrMatrix& a,
     if (!ws.sched.fused || ws.sched.fused->threads != team ||
         ws.sched.fused_matrix != &a || ws.sched.fused_nnz != a.nnz() ||
         ws.sched.fused_cols != a.col_idx().data() ||
-        ws.sched.fused->chunk_rows != fs.chunk_rows) {
-      ws.sched.fused = std::make_unique<FusedApplySpmv>(
-          build_fused_apply_spmv(ws.sched.bwd, f.plan, a, fs.chunk_rows));
+        ws.sched.fused->chunk_rows != fs.chunk_rows ||
+        ws.sched.fused->fwd_synced != fs.fwd_synced) {
+      ws.sched.fused = std::make_unique<FusedApplySpmv>(build_fused_apply_spmv(
+          ws.sched.bwd, f.plan, a, fs.chunk_rows,
+          fs.fwd_synced ? &ws.sched.fwd : nullptr));
       ws.sched.fused_matrix = &a;
       ws.sched.fused_cols = a.col_idx().data();
       ws.sched.fused_nnz = a.nnz();
     }
     rt.bwd = &ws.sched.bwd;
     rt.chunks = ws.sched.fused.get();
+    rt.fwd = &ws.sched.fwd;
+  } else {
+    rt.fwd = f.fwd.threads == team ? &f.fwd : nullptr;
   }
   return rt;
 }
@@ -210,8 +255,172 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
     return;
   }
 
+  // Single-region fast path: forward sweep, backward sweep AND SpMV in ONE
+  // parallel region. Eligible when the plan has no lower stage (the forward
+  // schedule covers every row, no tail/corner phases), both sweeps run
+  // uniform P2P, and the pass is unguarded/uninstrumented. The forward
+  // items publish on a second counter bank (ws.progress_fwd); each backward
+  // item first waits for the forward items producing its rows' forward
+  // values (chunks->fwd_wait_*), then for its backward producers, and
+  // solves OUT OF PLACE into ws.xb so late forward rows on other threads
+  // never observe a clobbered x. Same kernels, same accumulation orders —
+  // bitwise equal to the two-phase pass.
+  const ExecSchedule* fsched = rt.fwd;
+  if (chunks->fwd_synced && !hook && f.opts.exec_obs == nullptr &&
+      fsched != nullptr && fsched->threads == s->threads &&
+      f.plan.num_lower_rows() == 0 && s->backend == ExecBackend::kP2P &&
+      !s->hybrid() && fsched->backend == ExecBackend::kP2P &&
+      !fsched->hybrid()) {
+    ProgressCounters& fprog = ws.progress_fwd;
+    ProgressCounters& bprog = ws.progress;
+    if (fprog.num_threads() < s->threads) {
+      fprog.reset(s->threads);
+    } else {
+      fprog.rearm();
+    }
+    if (bprog.num_threads() < s->threads) {
+      bprog.reset(s->threads);
+    } else {
+      bprog.rearm();
+    }
+    if (ws.xb.size() < static_cast<std::size_t>(n)) {
+      ws.xb.resize(static_cast<std::size_t>(n));
+    }
+    std::span<value_t> xb(ws.xb);
+    bool merged_fallback = false;
+#pragma omp parallel num_threads(s->threads)
+    {
+      if (team_size() < s->threads) {
+        if (thread_id() == 0) merged_fallback = true;  // sole writer
+      } else {
+        const int tid = thread_id();
+        const int spin_budget =
+            s->spin_budget > 0 ? s->spin_budget : spin_budget_for(s->threads);
+        // Phase 1: forward items (rhs gather folded in, as fused_forward).
+        index_t fdone = 0;
+        for (index_t i = fsched->thread_ptr[static_cast<std::size_t>(tid)];
+             i < fsched->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
+          for (index_t w = fsched->wait_ptr[static_cast<std::size_t>(i)];
+               w < fsched->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+            (void)fprog.wait_for(
+                static_cast<int>(
+                    fsched->wait_thread[static_cast<std::size_t>(w)]),
+                fsched->wait_count[static_cast<std::size_t>(w)], spin_budget,
+                nullptr);
+          }
+          for (index_t k = fsched->item_ptr[static_cast<std::size_t>(i)];
+               k < fsched->item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            const index_t row = fsched->rows[static_cast<std::size_t>(k)];
+            x[static_cast<std::size_t>(row)] =
+                r[static_cast<std::size_t>(
+                    perm[static_cast<std::size_t>(row)])] -
+                lower_partial(lu, row, row, x, 0);
+          }
+          ++fdone;
+          fprog.publish(tid, fdone);
+        }
+        // Phase 2: backward items, gated on the forward bank then their own.
+        index_t done = 0;
+        for (index_t i = s->thread_ptr[static_cast<std::size_t>(tid)];
+             i < s->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++i) {
+          for (index_t w = chunks->fwd_wait_ptr[static_cast<std::size_t>(i)];
+               w < chunks->fwd_wait_ptr[static_cast<std::size_t>(i) + 1];
+               ++w) {
+            (void)fprog.wait_for(
+                static_cast<int>(
+                    chunks->fwd_wait_thread[static_cast<std::size_t>(w)]),
+                chunks->fwd_wait_count[static_cast<std::size_t>(w)],
+                spin_budget, nullptr);
+          }
+          for (index_t w = s->wait_ptr[static_cast<std::size_t>(i)];
+               w < s->wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+            (void)bprog.wait_for(
+                static_cast<int>(
+                    s->wait_thread[static_cast<std::size_t>(w)]),
+                s->wait_count[static_cast<std::size_t>(w)], spin_budget,
+                nullptr);
+          }
+          for (index_t k = s->item_ptr[static_cast<std::size_t>(i)];
+               k < s->item_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+            const index_t row = s->rows[static_cast<std::size_t>(k)];
+            detail::backward_row_into(lu, f.diag_pos, row, x, xb);
+            z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+                xb[static_cast<std::size_t>(row)];
+          }
+          ++done;
+          bprog.publish(tid, done);
+        }
+        // Phase 3: SpMV chunks behind the backward sweep (existing waits).
+        for (index_t c = chunks->thread_ptr[static_cast<std::size_t>(tid)];
+             c < chunks->thread_ptr[static_cast<std::size_t>(tid) + 1]; ++c) {
+          for (index_t w = chunks->wait_ptr[static_cast<std::size_t>(c)];
+               w < chunks->wait_ptr[static_cast<std::size_t>(c) + 1]; ++w) {
+            (void)bprog.wait_for(
+                static_cast<int>(
+                    chunks->wait_thread[static_cast<std::size_t>(w)]),
+                chunks->wait_count[static_cast<std::size_t>(w)], spin_budget,
+                nullptr);
+          }
+          for (index_t row = chunks->chunk_begin[static_cast<std::size_t>(c)];
+               row < chunks->chunk_end[static_cast<std::size_t>(c)]; ++row) {
+            t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+          }
+        }
+      }
+    }
+    if (merged_fallback) {
+      // Short team: redo the whole pass as the straight-line serial sweep
+      // (deterministic overwrite of any partial work).
+      for (index_t row = 0; row < n; ++row) {
+        x[static_cast<std::size_t>(row)] =
+            r[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] -
+            lower_partial(lu, row, n, x, 0);
+      }
+      (void)serial_backward_spmv(f, a, x, z, t);  // hook-free here
+    }
+    return;
+  }
+
   const ExecStatus fst = fused_forward(f, r, x, ws);
   if (!fst.ok()) throw_fused_abort(fst.row);
+
+  if (s->hybrid()) {
+    // Hybrid (per-level regime) backward schedule: the fused region's sweep
+    // halves below mirror only the uniform backends, so route the backward
+    // sweep through exec_run — whose hybrid branch owns the cross-regime
+    // handoff protocol — with the z scatter fused into the row loop, then
+    // multiply A in a second region. One extra join versus the uniform
+    // fused pass; accumulation orders unchanged, so the result stays
+    // bitwise equal to the unfused pair.
+    const auto backward_scatter_row = [&](index_t row) {
+      backward_row(lu, f.diag_pos, row, x);
+      z[static_cast<std::size_t>(perm[static_cast<std::size_t>(row)])] =
+          x[static_cast<std::size_t>(row)];
+    };
+    if (hook) {
+      const ExecStatus bst = exec_run(
+          *s,
+          [&](index_t row, int) -> bool {
+            backward_scatter_row(row);
+            return hook(FaultSite::kBackwardRow, row);
+          },
+          ws.progress);
+      if (!bst.ok()) throw_fused_abort(bst.row);
+    } else if (f.opts.exec_obs != nullptr) {
+      exec_run_obs(
+          *s, [&](index_t row, int) { backward_scatter_row(row); },
+          ws.progress, *f.opts.exec_obs, obs::Region::kFused);
+    } else {
+      exec_run(
+          *s, [&](index_t row, int) { backward_scatter_row(row); },
+          ws.progress);
+    }
+#pragma omp parallel for schedule(static) num_threads(team)
+    for (index_t row = 0; row < a.rows(); ++row) {
+      t[static_cast<std::size_t>(row)] = spmv_row(a, row, z);
+    }
+    return;
+  }
 
   // Cooperative abort (fault injection only): the flag is shared by the
   // backward items and the SpMV chunk waits, so a poisoned backward row
@@ -250,7 +459,8 @@ void ilu_apply_spmv(const Factorization& f, const CsrMatrix& a,
     // abort protocol) in sync with exec_run when changing either.
     const auto fused_thread = [&](const int tid, auto obs_on) {
       constexpr bool kObs = decltype(obs_on)::value;
-      const int spin_budget = spin_budget_for(s->threads);
+      const int spin_budget =
+          s->spin_budget > 0 ? s->spin_budget : spin_budget_for(s->threads);
       [[maybe_unused]] obs::TraceBuffer* buf = nullptr;
       [[maybe_unused]] std::int64_t t_start = 0;
       [[maybe_unused]] std::uint64_t sync_ns = 0;

@@ -13,7 +13,13 @@
 //     processes its A-row chunks, each guarded by sparsified spin-waits on
 //     the SAME ProgressCounters the backward sweep publishes — rows whose
 //     column dependencies are satisfied start multiplying while other
-//     threads are still solving. No barrier, no second kernel launch.
+//     threads are still solving. No barrier, no second kernel launch,
+//   * and — when the plan has no lower stage and both sweeps run uniform
+//     P2P — the FORWARD sweep joins the same region too: backward items
+//     carry sparsified backward-on-forward waits (on a second counter bank)
+//     and solve out of place, so a thread's backward rows start while other
+//     threads still execute forward rows. One parallel region for the whole
+//     solve + SpMV, zero fork/joins between the sweeps.
 //
 // Per Krylov iteration this removes one full pass over the vectors (the
 // permute-out), two parallel-region fork/joins and the solve→SpMV barrier,
@@ -60,9 +66,24 @@ struct FusedApplySpmv {
   /// Rows per SpMV chunk the companion was built with (reused on retarget).
   index_t chunk_rows = 0;
 
+  /// Cross-schedule waits of the single-region fused pass (forward sweep
+  /// fused into the SAME parallel region as backward+SpMV): before BACKWARD
+  /// item i, wait until forward thread fwd_wait_thread[w] has published
+  /// fwd_wait_count[w] forward items, for w in [fwd_wait_ptr[i],
+  /// fwd_wait_ptr[i+1]) — these gate each backward row's read of its own
+  /// forward value. Built only when the companion was given the forward
+  /// schedule and the plan has no lower stage (fwd_synced); the two-phase
+  /// path never consults them.
+  bool fwd_synced = false;
+  std::vector<index_t> fwd_wait_ptr;
+  std::vector<index_t> fwd_wait_thread;
+  std::vector<index_t> fwd_wait_count;
+
   // --- statistics ----------------------------------------------------------
   index_t deps_total = 0;  ///< cross-thread column dependencies before pruning
   index_t deps_kept = 0;   ///< spin-waits actually stored
+  index_t fwd_deps_total = 0;  ///< backward-on-forward deps before pruning
+  index_t fwd_deps_kept = 0;   ///< backward-on-forward spin-waits stored
 
   index_t num_chunks() const noexcept {
     return static_cast<index_t>(chunk_begin.size());
@@ -75,14 +96,20 @@ inline constexpr index_t kDefaultSpmvChunkRows = 1024;
 /// Build the fused-SpMV companion against an explicit backward schedule
 /// (the retarget path rebuilds through this for the runtime team). `plan`
 /// supplies the permutation; `a` is square with the factor's dimension.
+/// Passing the matching forward schedule (`fwd`, same team) additionally
+/// builds the backward-on-forward wait lists that let the runtime fuse the
+/// forward sweep into the same parallel region (only possible — and only
+/// attempted — when the plan has no lower stage).
 FusedApplySpmv build_fused_apply_spmv(const ExecSchedule& bwd,
                                       const TwoStagePlan& plan,
                                       const CsrMatrix& a,
-                                      index_t chunk_rows = kDefaultSpmvChunkRows);
+                                      index_t chunk_rows = kDefaultSpmvChunkRows,
+                                      const ExecSchedule* fwd = nullptr);
 
 /// Build the fused-SpMV companion for factor `f` and matrix `a` (square,
 /// same dimension as the factor; in Krylov use `a` is the matrix `f` was
-/// factored from). `chunk_rows` bounds the rows per SpMV chunk.
+/// factored from). `chunk_rows` bounds the rows per SpMV chunk. The factor's
+/// own forward schedule is offered for single-region fusion automatically.
 FusedApplySpmv build_fused_apply_spmv(const Factorization& f,
                                       const CsrMatrix& a,
                                       index_t chunk_rows = kDefaultSpmvChunkRows);
@@ -100,6 +127,9 @@ struct FusedRuntime {
   int team = 1;
   const ExecSchedule* bwd = nullptr;
   const FusedApplySpmv* chunks = nullptr;
+  /// Forward schedule at the same team (null on the serial path); consulted
+  /// only by the single-region fused pass.
+  const ExecSchedule* fwd = nullptr;
 };
 FusedRuntime runtime_fused_schedule(const Factorization& f, const CsrMatrix& a,
                                     const FusedApplySpmv& fs,

@@ -404,6 +404,10 @@ Factorization ilu_prepare(const CsrMatrix& a, const IluOptions& opts) {
                                        chunk);
   f.bwd = build_backward_schedule(f.lu, opts.exec_backend, f.plan.threads,
                                   chunk);
+  // Spin-wait escalation budget: carried by the schedules (retarget
+  // preserves it) so every executor branch sees the configured ladder.
+  f.fwd.spin_budget = opts.spin_max_pauses;
+  f.bwd.spin_budget = opts.spin_max_pauses;
   if (opts.verify_schedules) {
     verify::verify_schedule_or_throw(f.fwd, lower_triangular_deps(f.lu),
                                      "fwd");
@@ -434,6 +438,7 @@ Factorization ilu_prepare(const CsrMatrix& a, const IluOptions& opts) {
                                    cls.level_ptr, cls.rows_by_level,
                                    lower_triangular_deps(corner_pat),
                                    f.plan.threads, chunk);
+    f.corner.spin_budget = opts.spin_max_pauses;
     // Verified here, while corner_pat (the dependency pattern) is alive.
     if (opts.verify_schedules) {
       verify::verify_schedule_or_throw(

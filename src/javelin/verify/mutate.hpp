@@ -31,12 +31,22 @@ enum class Mutation {
   kMoveRowAcrossLevel, ///< shift a level_ptr boundary by one row
   kDuplicateRow,       ///< one row executed twice, another lost
   kCorruptWaitCount,   ///< count beyond the producer's item count
+  kRegimeRetag,        ///< retag a synced level kP2P, orphaning pruned waits
+  kRegimeTagShape,     ///< truncate level_tags / plant an unknown tag value
 };
 
 inline constexpr Mutation kAllMutations[] = {
     Mutation::kDropWait,           Mutation::kWeakenWait,
     Mutation::kRedirectWait,       Mutation::kMoveRowAcrossLevel,
     Mutation::kDuplicateRow,       Mutation::kCorruptWaitCount,
+};
+
+/// Regime-boundary defect classes. Only meaningful on HYBRID schedules
+/// (non-empty level_tags, waits pruned to regime floors); kept out of
+/// kAllMutations so the uniform-schedule sweeps stay regime-free.
+inline constexpr Mutation kRegimeMutations[] = {
+    Mutation::kRegimeRetag,
+    Mutation::kRegimeTagShape,
 };
 
 const char* mutation_name(Mutation m) noexcept;

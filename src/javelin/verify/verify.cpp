@@ -68,6 +68,7 @@ const char* diag_kind_name(DiagKind k) noexcept {
     case DiagKind::kUncoveredDependency: return "uncovered_dependency";
     case DiagKind::kRetargetMismatch: return "retarget_mismatch";
     case DiagKind::kStatsMismatch: return "stats_mismatch";
+    case DiagKind::kRegimeTag: return "regime_tag";
   }
   return "unknown";
 }
@@ -96,9 +97,12 @@ std::string VerifyReport::summary() const {
   if (ok()) {
     os << "ok: " << stats.deps_cross_thread << " cross-thread deps ("
        << stats.deps_covered_direct << " direct, "
-       << stats.deps_covered_transitive << " transitive), "
-       << stats.waits_total << " waits, " << stats.items << " items, "
-       << stats.levels << " levels";
+       << stats.deps_covered_transitive << " transitive";
+    if (stats.deps_covered_regime > 0) {
+      os << ", " << stats.deps_covered_regime << " regime";
+    }
+    os << "), " << stats.waits_total << " waits, " << stats.items
+       << " items, " << stats.levels << " levels";
     return os.str();
   }
   os << diagnostics.size() + static_cast<std::size_t>(suppressed)
@@ -162,6 +166,28 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
     sink.add(DiagKind::kStatsMismatch, kInvalidIndex, kInvalidIndex, -1, -1,
              kInvalidIndex, kInvalidIndex,
              "stored num_levels disagrees with level_ptr");
+  }
+  // Per-level regime tags: a malformed vector makes the hybrid executor's
+  // segment walk meaningless (and its wait pruning unjustified), so flag it
+  // and analyze the schedule as uniform under `backend` — which then
+  // reports the pruned waits as the races they would be.
+  bool hybrid = !s.level_tags.empty();
+  if (hybrid && static_cast<index_t>(s.level_tags.size()) != n_levels) {
+    sink.add(DiagKind::kRegimeTag, kInvalidIndex, kInvalidIndex, -1, -1,
+             kInvalidIndex, kInvalidIndex,
+             "level_tags length disagrees with level_ptr");
+    hybrid = false;
+  }
+  if (hybrid) {
+    for (index_t l = 0; l < n_levels; ++l) {
+      if (s.level_tags[uz(l)] >
+          static_cast<std::uint8_t>(LevelRegime::kSerial)) {
+        sink.add(DiagKind::kRegimeTag, kInvalidIndex, kInvalidIndex, -1, -1,
+                 l, kInvalidIndex, "unknown regime tag value");
+        hybrid = false;
+        break;
+      }
+    }
   }
   for (index_t k = 0; k < n_rows; ++k) {
     const index_t r = s.rows[uz(k)];
@@ -347,16 +373,69 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
 
   // ---- Phase 4: deadlock. Kahn's toposort over the item graph — edges are
   // per-thread program order plus (producer item -> waiting item) for every
-  // valid wait. Items left unprocessed sit on a cycle (or behind one): at
-  // runtime they would spin forever.
+  // valid wait. Hybrid schedules add VIRTUAL SYNC NODES for the executor's
+  // extra synchronization (segment-entry barriers, per-level barriers of
+  // kBarrier runs, and the serialization of kSerial levels, which orders
+  // levels just as hard): every thread's last item below the sync level
+  // precedes the node, every thread's first item at or above it follows,
+  // and the nodes chain. Items left unprocessed sit on a cycle (or behind
+  // one): at runtime they would spin forever.
   std::vector<index_t> thread_of(uz(n_items), 0);
   for (int t = 0; t < T; ++t) {
     for (index_t i = s.thread_ptr[uz(t)]; i < s.thread_ptr[uz(t) + 1]; ++i) {
       thread_of[uz(i)] = static_cast<index_t>(t);
     }
   }
-  std::vector<index_t> indeg(uz(n_items), 0);
-  std::vector<index_t> succ_ptr(uz(n_items) + 1, 0);
+  // Sync points: level l has one at entry unless both l-1 and l are kP2P
+  // levels of the same segment — the only level boundary the hybrid
+  // executor crosses without synchronizing. Uniform schedules have none.
+  std::vector<index_t> sync_levels;
+  std::vector<index_t> sync_of_level(uz(n_levels), kInvalidIndex);
+  if (hybrid) {
+    const auto tag = [&](index_t l) {
+      return static_cast<LevelRegime>(s.level_tags[uz(l)]);
+    };
+    for (index_t l = 0; l < n_levels; ++l) {
+      if (l == 0 || tag(l) != LevelRegime::kP2P ||
+          tag(l - 1) != LevelRegime::kP2P) {
+        sync_levels.push_back(l);
+      }
+      sync_of_level[uz(l)] = static_cast<index_t>(sync_levels.size()) - 1;
+    }
+  }
+  const index_t n_sync = static_cast<index_t>(sync_levels.size());
+  const index_t n_nodes = n_items + n_sync;
+  std::vector<std::pair<index_t, index_t>> sync_edges;
+  for (index_t j = 1; j < n_sync; ++j) {
+    sync_edges.emplace_back(n_items + j - 1, n_items + j);
+  }
+  if (n_sync > 0) {
+    for (int t = 0; t < T; ++t) {
+      index_t j = 0;
+      index_t last_item = kInvalidIndex;
+      for (index_t i = s.thread_ptr[uz(t)]; i < s.thread_ptr[uz(t) + 1];
+           ++i) {
+        const index_t lv = item_level[uz(i)];
+        if (lv == kInvalidIndex) continue;
+        const index_t j0 = j;
+        while (j < n_sync && sync_levels[uz(j)] <= lv) {
+          if (last_item != kInvalidIndex) {
+            sync_edges.emplace_back(last_item, n_items + j);
+          }
+          ++j;
+        }
+        if (j > j0) sync_edges.emplace_back(n_items + j - 1, i);
+        last_item = i;
+      }
+      for (; j < n_sync; ++j) {
+        if (last_item != kInvalidIndex) {
+          sync_edges.emplace_back(last_item, n_items + j);
+        }
+      }
+    }
+  }
+  std::vector<index_t> indeg(uz(n_nodes), 0);
+  std::vector<index_t> succ_ptr(uz(n_nodes) + 1, 0);
   auto wait_producer_item = [&](index_t w) {
     return s.thread_ptr[uz(s.wait_thread[uz(w)])] + s.wait_count[uz(w)] - 1;
   };
@@ -372,10 +451,14 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
       ++indeg[uz(i)];
     }
   }
+  for (const auto& [u, v] : sync_edges) {
+    ++succ_ptr[uz(u) + 1];
+    ++indeg[uz(v)];
+  }
   for (std::size_t i = 1; i < succ_ptr.size(); ++i) {
     succ_ptr[i] += succ_ptr[i - 1];
   }
-  std::vector<index_t> succ(uz(n_items > 0 ? succ_ptr.back() : 0), 0);
+  std::vector<index_t> succ(uz(n_nodes > 0 ? succ_ptr.back() : 0), 0);
   {
     std::vector<index_t> cursor(succ_ptr.begin(), succ_ptr.end() - 1);
     for (index_t i = 0; i < n_items; ++i) {
@@ -388,10 +471,13 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
         succ[uz(cursor[uz(wait_producer_item(w))]++)] = i;
       }
     }
+    for (const auto& [u, v] : sync_edges) {
+      succ[uz(cursor[uz(u)]++)] = v;
+    }
   }
   std::vector<index_t> topo;
-  topo.reserve(uz(n_items));
-  for (index_t i = 0; i < n_items; ++i) {
+  topo.reserve(uz(n_nodes));
+  for (index_t i = 0; i < n_nodes; ++i) {
     if (indeg[uz(i)] == 0) topo.push_back(i);
   }
   for (std::size_t head = 0; head < topo.size(); ++head) {
@@ -401,9 +487,15 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
       if (--indeg[uz(j)] == 0) topo.push_back(j);
     }
   }
-  if (static_cast<index_t>(topo.size()) < n_items) {
+  index_t items_done = 0;
+  for (index_t u : topo) {
+    if (u < n_items) ++items_done;
+  }
+  if (items_done < n_items) {
     std::vector<char> processed(uz(n_items), 0);
-    for (index_t i : topo) processed[uz(i)] = 1;
+    for (index_t i : topo) {
+      if (i < n_items) processed[uz(i)] = 1;
+    }
     for (index_t i = 0; i < n_items; ++i) {
       if (processed[uz(i)]) continue;
       // Attach the first blocking wait edge for precision; a stuck
@@ -435,18 +527,48 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
   // position q is covered iff the consumer's pre-execution clock has
   // clock[p] >= q+1; it is DIRECT if one of the consuming item's own waits
   // reaches q+1, else TRANSITIVE (the sparsification's savings, quantified).
-  std::vector<index_t> clock(uz(n_items) * uz(T), 0);
+  // Sync nodes carry clocks too: a node's clock is the JOIN of everything
+  // its predecessors published (accumulated as they process, complete by
+  // the time the node pops in topo order), and an item at level lv merges
+  // the clock of its nearest preceding sync node — that is exactly what
+  // the hybrid executor's barrier guarantees, and what justifies the waits
+  // apply_level_tags pruned (counted as deps_covered_regime).
+  std::vector<index_t> clock(uz(n_nodes) * uz(T), 0);
   std::vector<index_t> before(uz(T), 0);
   std::vector<index_t> direct_high(uz(T), 0);
   VerifyStats& st = rep.stats;
+  auto push_to_sync_succs = [&](index_t u) {
+    const index_t* cu = clock.data() + uz(u) * uz(T);
+    for (index_t q = succ_ptr[uz(u)]; q < succ_ptr[uz(u) + 1]; ++q) {
+      const index_t v = succ[uz(q)];
+      if (v < n_items) continue;
+      index_t* cv = clock.data() + uz(v) * uz(T);
+      for (int p = 0; p < T; ++p) {
+        cv[uz(p)] = std::max(cv[uz(p)], cu[uz(p)]);
+      }
+    }
+  };
   for (std::size_t head = 0; head < topo.size(); ++head) {
     const index_t i = topo[head];
+    if (i >= n_items) {
+      push_to_sync_succs(i);  // forward the join along the sync chain
+      continue;
+    }
     const int t = static_cast<int>(thread_of[uz(i)]);
     if (i == s.thread_ptr[uz(t)]) {
       std::fill(before.begin(), before.end(), 0);
     } else {
       const index_t* prev = clock.data() + uz(i - 1) * uz(T);
       std::copy(prev, prev + T, before.begin());
+    }
+    const index_t* sync_floor = nullptr;
+    if (n_sync > 0 && item_level[uz(i)] != kInvalidIndex &&
+        sync_of_level[uz(item_level[uz(i)])] != kInvalidIndex) {
+      sync_floor = clock.data() +
+                   uz(n_items + sync_of_level[uz(item_level[uz(i)])]) * uz(T);
+      for (int p = 0; p < T; ++p) {
+        before[uz(p)] = std::max(before[uz(p)], sync_floor[uz(p)]);
+      }
     }
     std::fill(direct_high.begin(), direct_high.end(), 0);
     for (index_t w = s.wait_ptr[uz(i)]; w < s.wait_ptr[uz(i) + 1]; ++w) {
@@ -486,6 +608,8 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
         if (before[uz(ot)] >= need) {
           if (direct_high[uz(ot)] >= need) {
             ++st.deps_covered_direct;
+          } else if (sync_floor != nullptr && sync_floor[uz(ot)] >= need) {
+            ++st.deps_covered_regime;
           } else {
             ++st.deps_covered_transitive;
           }
@@ -501,12 +625,13 @@ VerifyReport verify_schedule(const ExecSchedule& s, const DepsFn& deps,
     index_t* after = clock.data() + uz(i) * uz(T);
     std::copy(before.begin(), before.end(), after);
     after[uz(t)] = (i - s.thread_ptr[uz(t)]) + 1;
+    if (n_sync > 0) push_to_sync_succs(i);
   }
 
   // Stats bookkeeping is only comparable when the row sets agree and every
   // item was enumerated (duplicated rows double-count their dependencies;
   // deadlocked items are never reached).
-  if (partition_clean && static_cast<index_t>(topo.size()) == n_items &&
+  if (partition_clean && items_done == n_items &&
       s.deps_total != st.deps_cross_thread) {
     sink.add(DiagKind::kStatsMismatch, kInvalidIndex, kInvalidIndex, -1, -1,
              kInvalidIndex, kInvalidIndex,
@@ -521,9 +646,11 @@ VerifyReport verify_retarget(const ExecSchedule& s, const DepsFn& deps,
   // verifying it as-is reports whatever is wrong with it.
   if (s.level_ptr.empty()) return verify_schedule(s, deps, max_diagnostics);
 
-  const ExecSchedule fresh =
+  ExecSchedule fresh =
       build_exec_schedule(s.backend, s.n_total, s.level_ptr, s.serial_order,
                           deps, threads, s.chunk_rows);
+  fresh.spin_budget = s.spin_budget;
+  if (!s.level_tags.empty()) apply_level_tags(fresh, s.level_tags);
   const ExecSchedule rt = retarget(s, deps, threads);
   VerifyReport rep = verify_schedule(rt, deps, max_diagnostics);
   Sink sink(rep, max_diagnostics);
@@ -545,6 +672,8 @@ VerifyReport verify_retarget(const ExecSchedule& s, const DepsFn& deps,
   if (rt.wait_count != fresh.wait_count) mismatch("wait_count");
   if (rt.level_ptr != fresh.level_ptr) mismatch("level_ptr");
   if (rt.serial_order != fresh.serial_order) mismatch("serial_order");
+  if (rt.level_tags != fresh.level_tags) mismatch("level_tags");
+  if (rt.spin_budget != fresh.spin_budget) mismatch("spin_budget");
   if (rt.deps_total != fresh.deps_total) mismatch("deps_total");
   if (rt.deps_kept != fresh.deps_kept) mismatch("deps_kept");
   if (rt.num_levels != fresh.num_levels) mismatch("num_levels");

@@ -30,6 +30,19 @@
 // s.backend: set_exec_backend() flips the tag in place, so a schedule must
 // be sound for either executor at all times.
 //
+// HYBRID schedules (non-empty level_tags) add synchronization the stored
+// waits no longer carry: the executor barriers at every same-tag segment
+// entry, after every kBarrier level, and runs kSerial levels alone on
+// thread 0 — and apply_level_tags prunes every wait those sync points
+// already cover. The analyzer models each such sync point as a virtual
+// node in the item graph (predecessors: every thread's last item below the
+// sync level; successors: every thread's first item at or above it, plus
+// the next sync node) and joins clocks across it, so pruned waits are
+// proven covered (deps_covered_regime) rather than misreported as races —
+// and a tag edit that orphans a pruned wait IS reported (kUncoveredDependency
+// or kDeadlock). Malformed tag vectors are kRegimeTag and analyzed as
+// uniform.
+//
 // Diagnostics are structured (ScheduleDiagnostic: consumer row, producer
 // row, threads, level, item) so tests can assert row-precise detection and
 // the bench can serialize verification stats (schema v5).
@@ -54,6 +67,7 @@ enum class DiagKind {
   kUncoveredDependency,  ///< cross-thread RAW dep with no happens-before edge
   kRetargetMismatch,     ///< retarget(s, deps, T) differs from a fresh build
   kStatsMismatch,        ///< stored deps_total/deps_kept/num_levels stale
+  kRegimeTag,            ///< level_tags wrong length or unknown regime value
 };
 
 const char* diag_kind_name(DiagKind k) noexcept;
@@ -84,6 +98,7 @@ struct VerifyStats {
   index_t deps_same_thread = 0;       ///< covered by program order
   index_t deps_cross_thread = 0;
   index_t deps_covered_direct = 0;    ///< one of the item's own waits covers it
+  index_t deps_covered_regime = 0;    ///< a hybrid sync point covers it (waits pruned)
   index_t deps_covered_transitive = 0;///< only the transitive publish order does
   index_t deps_uncovered = 0;         ///< latent data races
 };
